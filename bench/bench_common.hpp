@@ -1,0 +1,80 @@
+// Shared plumbing for the reproduction benches: builds the system netlist,
+// runs the physical flow (pack/place/route), extracts switching activity via
+// the paper's VCD round trip, and prints consistent headers.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "refpga/app/system.hpp"
+#include "refpga/netlist/stats.hpp"
+#include "refpga/par/pack.hpp"
+#include "refpga/par/placer.hpp"
+#include "refpga/par/router.hpp"
+#include "refpga/sim/activity.hpp"
+#include "refpga/sim/simulator.hpp"
+#include "refpga/sim/vcd.hpp"
+
+namespace refpga::benchkit {
+
+inline void print_header(const std::string& id, const std::string& title) {
+    std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// Physical implementation of a netlist on a device: pack + regioned
+/// placement + annealing + routing.
+struct Implementation {
+    par::PackedDesign packed;
+    fabric::Device device;
+    par::Placement placement;
+    par::RoutedDesign routed;
+
+    Implementation(const netlist::Netlist& nl, fabric::PartName part,
+                   double effort = 0.15, double activity_beta = 0.0,
+                   const sim::ActivityMap* activity = nullptr)
+        : packed(par::pack(nl)),
+          device(part),
+          placement(device, nl, packed),
+          routed(placement, par::ChannelCapacity{}) {
+        placement.place_initial();
+        par::PlacerOptions options;
+        options.effort = effort;
+        options.activity_beta = activity_beta;
+        (void)par::anneal(placement, options, activity);
+        routed.route_all(par::RouteMode::Performance);
+    }
+};
+
+/// Stimulates the system netlist for `cycles` and recovers per-net activity
+/// through the full VCD round trip (post-PAR simulation -> VCD -> parse),
+/// mirroring the paper's XPower flow.
+inline sim::ActivityMap system_activity_via_vcd(const netlist::Netlist& nl,
+                                                double clock_hz, int cycles = 256) {
+    sim::Simulator simulator(nl);
+    std::vector<netlist::NetId> all_nets;
+    for (std::uint32_t i = 0; i < nl.net_count(); ++i)
+        all_nets.push_back(netlist::NetId{i});
+
+    std::ostringstream vcd_text;
+    sim::VcdWriter writer(vcd_text, simulator, all_nets);
+    const double period_ps = 1e12 / clock_hz;
+
+    if (nl.find_port("tick_16mhz") != nullptr) simulator.set_input("tick_16mhz", 1);
+    if (nl.find_port("adc_valid") != nullptr) simulator.set_input("adc_valid", 1);
+
+    writer.sample(1);
+    Rng rng(2024);
+    for (int t = 1; t <= cycles; ++t) {
+        if (nl.find_port("adc_meas") != nullptr)
+            simulator.set_input("adc_meas", rng.next_below(4096));
+        if (nl.find_port("adc_ref") != nullptr)
+            simulator.set_input("adc_ref", rng.next_below(4096));
+        simulator.tick();
+        writer.sample(static_cast<std::int64_t>(t * period_ps));
+    }
+    std::istringstream is(vcd_text.str());
+    return sim::activity_from_vcd(nl, sim::parse_vcd(is));
+}
+
+}  // namespace refpga::benchkit

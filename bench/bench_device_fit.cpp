@@ -1,0 +1,159 @@
+// §4.2 headline — Device downsizing through partial reconfiguration.
+//
+// Paper: "Implementing the complete system without exploiting reconfiguration
+// would require more than 6000 slices and at least a Spartan-3 1000. By
+// exploiting hardware reconfiguration the FPGA size could be reduced ... to a
+// Spartan-3 400. Furthermore ... by re-partitioning the modules into e.g. 5
+// reconfigurable modules of smaller sizes, the system could be implemented on
+// a Spartan-3 200." Smaller device => lower static power and lower cost.
+//
+// We compute the resident slice demand of each scenario (with a 7 %
+// place-and-route headroom: ISE-era flows close slice-dominated designs at
+// ~93 % utilization), fit the smallest part, and report the static-power and
+// cost consequences. The 5-slot scenario uses the minimal MicroBlaze
+// configuration (documented in DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "refpga/common/table.hpp"
+
+namespace {
+
+using namespace refpga;
+
+constexpr double kParHeadroom = 1.07;  // routing/fragmentation margin (~93% util)
+
+struct Scenario {
+    std::string name;
+    std::size_t resident_slices = 0;  ///< worst-case simultaneously configured
+    std::size_t with_headroom = 0;
+    std::optional<fabric::PartName> part;
+    int slot_loads_per_cycle = 0;
+};
+
+Scenario make_scenario(std::string name, std::size_t resident, int loads) {
+    Scenario s;
+    s.name = std::move(name);
+    s.resident_slices = resident;
+    s.with_headroom =
+        static_cast<std::size_t>(static_cast<double>(resident) * kParHeadroom);
+    s.part = fabric::smallest_fit(static_cast<int>(s.with_headroom), 0, 0);
+    s.slot_loads_per_cycle = loads;
+    return s;
+}
+
+void print_device_fit() {
+    benchkit::print_header("Headline (§4.2)",
+                           "device fit: monolithic vs reconfigured vs 5-slot");
+
+    // Full system, full-featured soft IP.
+    const app::SystemNetlist full = app::build_system_netlist({});
+    const auto stats = netlist::partition_stats(full.nl);
+    const std::size_t static_slices = stats[0].slices();
+    const std::size_t amp = stats[1].slices();
+    const std::size_t cap = stats[2].slices();
+    const std::size_t filt = stats[3].slices();
+
+    // 5-slot scenario: slim static area (minimal MicroBlaze, no EMC) and the
+    // processing pipeline split into 5 submodules; the slot is sized by the
+    // largest submodule (~amp_phase/3: MAC stage, CORDIC stage, divider,
+    // cos+scaling, filter).
+    app::SystemNetlistOptions slim_options;
+    slim_options.soft_ip = soc::SoftIpBudgets::minimal();
+    const app::SystemNetlist slim = app::build_system_netlist(slim_options);
+    const auto slim_stats = netlist::partition_stats(slim.nl);
+    const std::size_t slim_static = slim_stats[0].slices();
+    const std::size_t largest_submodule =
+        std::max({amp / 3 + 1, cap / 2 + 1, filt});
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(
+        make_scenario("monolithic (all modules resident)",
+                      static_slices + amp + cap + filt, 0));
+    scenarios.push_back(make_scenario("reconfigured, 1 slot (paper's system)",
+                                      static_slices + amp, 3));
+    scenarios.push_back(make_scenario("reconfigured, 5 slots + slim static",
+                                      slim_static + largest_submodule, 5));
+
+    Table table({"scenario", "resident slices", "+7% headroom", "smallest part",
+                 "static power (mW)", "unit cost (USD)", "loads/cycle"});
+    for (const auto& s : scenarios) {
+        const fabric::Part* part = s.part ? &fabric::part(*s.part) : nullptr;
+        table.add_row({s.name, std::to_string(s.resident_slices),
+                       std::to_string(s.with_headroom),
+                       part ? std::string(part->id) : "none",
+                       part ? Table::num(part->static_power_mw(), 1) : "-",
+                       part ? Table::num(part->unit_cost_usd, 2) : "-",
+                       std::to_string(s.slot_loads_per_cycle)});
+    }
+    std::cout << table.render();
+
+    const auto& mono = scenarios[0];
+    const auto& reconf = scenarios[1];
+    const auto& five = scenarios[2];
+    std::cout << "paper: >6000 slices monolithic -> XC3S1000; reconfigured -> "
+                 "XC3S400; 5-slot -> XC3S200\n";
+    std::cout << "measured: " << mono.with_headroom << " -> "
+              << (mono.part ? fabric::part(*mono.part).id : "none") << "; "
+              << reconf.with_headroom << " -> "
+              << (reconf.part ? fabric::part(*reconf.part).id : "none") << "; "
+              << five.with_headroom << " -> "
+              << (five.part ? fabric::part(*five.part).id : "none") << "\n";
+    if (mono.part && reconf.part) {
+        const double saved = fabric::part(*mono.part).static_power_mw() -
+                             fabric::part(*reconf.part).static_power_mw();
+        std::cout << "static power saved by downsizing (mono -> 1 slot): "
+                  << Table::num(saved, 1) << " mW\n";
+    }
+
+    // Granularity sweep: slot count vs slot size vs per-cycle reconfig time
+    // over the JCAP (more slots = smaller device but more overhead).
+    benchkit::print_header("Ablation", "slot granularity sweep (JCAP)");
+    const auto port = reconfig::jcap_port();
+    Table sweep({"slots", "slot size (slices)", "resident + headroom", "part",
+                 "reconfig per cycle (ms)"});
+    const std::size_t pipeline = amp + cap + filt;
+    for (const int slots : {1, 2, 3, 5, 8}) {
+        const std::size_t slot_size = pipeline / static_cast<std::size_t>(slots) + 1;
+        const std::size_t resident = static_cast<std::size_t>(
+            static_cast<double>(slim_static + slot_size) * kParHeadroom);
+        const auto part_name = fabric::smallest_fit(static_cast<int>(resident), 0, 0);
+        double reconfig_ms = 0.0;
+        if (part_name) {
+            const fabric::Device dev(*part_name);
+            // Slot columns sized by slice share of the die.
+            const int cols = std::max(
+                1, static_cast<int>(slot_size * static_cast<std::size_t>(dev.cols()) /
+                                    static_cast<std::size_t>(dev.slice_count())));
+            const auto bits = dev.partial_bits(0, std::min(cols, dev.cols()));
+            reconfig_ms = slots *
+                          (port.setup_s + static_cast<double>(bits) /
+                                              port.throughput_bps()) *
+                          1e3;
+        }
+        sweep.add_row({std::to_string(slots), std::to_string(slot_size),
+                       std::to_string(resident),
+                       part_name ? std::string(fabric::part(*part_name).id) : "none",
+                       Table::num(reconfig_ms, 2)});
+    }
+    std::cout << sweep.render();
+}
+
+void BM_SmallestFit(benchmark::State& state) {
+    for (auto _ : state) {
+        auto part = fabric::smallest_fit(4829, 8, 8);
+        benchmark::DoNotOptimize(part);
+    }
+}
+BENCHMARK(BM_SmallestFit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_device_fit();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 4 — Tasks performed in one measurement cycle (t = 100 ms).
+//
+// Paper: per cycle, the system samples the measurement/reference signals,
+// then runs amplitude & phase calculation, capacity computation and
+// filtering/level calculation, reconfiguring the slot before each stage.
+// We run the full behavioural system and print the schedule, for the JCAP
+// (the paper's Spartan-3 port), the accelerated JCAP of [11] and an
+// ICAP-class port for comparison.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "refpga/common/table.hpp"
+#include "refpga/reconfig/config_port.hpp"
+
+namespace {
+
+using namespace refpga;
+
+void print_schedule(const reconfig::ConfigPortSpec& port) {
+    app::SystemOptions options;
+    options.variant = app::SystemVariant::ReconfiguredHw;
+    options.port = port;
+    app::MeasurementSystem system(options);
+    system.set_true_level(0.55);
+    // Warm up: the EMA filter converges over ~30 measurement cycles, and the
+    // first cycle pays the initial module loads.
+    for (int i = 0; i < 30; ++i) (void)system.run_cycle();
+    const app::CycleReport report = system.run_cycle();
+
+    benchkit::print_header("Figure 4",
+                           "measurement cycle schedule via " + port.name);
+    Table table({"task", "start (ms)", "duration (ms)"});
+    for (const auto& phase : report.phases)
+        table.add_row({phase.name, Table::num(phase.start_s * 1e3, 3),
+                       Table::num(phase.duration_s * 1e3, 3)});
+    std::cout << table.render();
+    std::cout << "busy " << Table::num(report.busy_s() * 1e3, 2) << " ms of the "
+              << Table::num(system.options().params.cycle_period_s * 1e3, 0)
+              << " ms cycle (sampling " << Table::num(report.sampling_s * 1e3, 2)
+              << " + reconfig " << Table::num(report.reconfig_s * 1e3, 2)
+              << " + processing " << Table::num(report.processing_s * 1e3, 4)
+              << "); fits: " << (report.busy_s() < 0.1 ? "yes" : "NO") << "\n";
+    std::cout << "measured level: " << Table::num(report.level, 3)
+              << " (true 0.550)\n";
+}
+
+void BM_FullCycleJcap(benchmark::State& state) {
+    app::SystemOptions options;
+    options.variant = app::SystemVariant::ReconfiguredHw;
+    app::MeasurementSystem system(options);
+    system.set_true_level(0.5);
+    for (auto _ : state) {
+        auto report = system.run_cycle();
+        benchmark::DoNotOptimize(report.level);
+    }
+}
+BENCHMARK(BM_FullCycleJcap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_schedule(reconfig::jcap_port());
+    print_schedule(reconfig::jcap_accelerated_port());
+    print_schedule(reconfig::icap_port());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,153 @@
+// §4.2 / [11] — Configuration-port throughput and reconfiguration overhead.
+//
+// Paper: "the JCAP core ... offers a reconfiguration rate which is lower than
+// the one provided by the ICAP interface. However ... it is also described
+// how the reconfiguration rate provided by the JCAP core may be increased."
+// We sweep every port model across module bitstream sizes and report the
+// time/energy overhead per measurement cycle.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "refpga/common/table.hpp"
+#include "refpga/reconfig/config_port.hpp"
+#include "refpga/reconfig/controller.hpp"
+#include "refpga/reconfig/scrubber.hpp"
+
+namespace {
+
+using namespace refpga;
+
+void print_port_table() {
+    benchkit::print_header("Config ports", "throughput and per-module load time");
+
+    const fabric::Device dev(fabric::PartName::XC3S400);
+    const int slot_cols = dev.cols() / 3;
+    const reconfig::Bitstream slot =
+        reconfig::Bitstream::partial(dev, "module", 0, slot_cols);
+    const reconfig::Bitstream full = reconfig::Bitstream::full(dev, "full");
+
+    Table table({"port", "payload rate", "slot load (" +
+                             std::to_string(slot.bytes() / 1024) + " KiB)",
+                 "full device (" + std::to_string(full.bytes() / 1024) + " KiB)",
+                 "energy/slot (mJ)"});
+    for (const auto& port :
+         {reconfig::jcap_port(), reconfig::jcap_accelerated_port(),
+          reconfig::selectmap_port(), reconfig::icap_port()}) {
+        table.add_row({port.name,
+                       Table::num(port.throughput_bps() / 1e6, 1) + " Mbit/s",
+                       Table::num(port.config_time_s(slot) * 1e3, 2) + " ms",
+                       Table::num(port.config_time_s(full) * 1e3, 2) + " ms",
+                       Table::num(port.config_energy_mj(slot), 3)});
+    }
+    std::cout << table.render();
+    std::cout << "note: Spartan-3 has no ICAP; the JCAP [11] virtualizes the "
+                 "internal port over JTAG, trading rate for availability\n";
+}
+
+void print_cycle_overhead() {
+    benchkit::print_header("Per-cycle overhead",
+                           "3 module swaps per 100 ms measurement cycle");
+
+    const fabric::Device dev(fabric::PartName::XC3S400);
+    Table table({"port", "reconfig per cycle (ms)", "share of 100 ms cycle",
+                 "reconfig energy per cycle (mJ)"});
+    for (const auto& port :
+         {reconfig::jcap_port(), reconfig::jcap_accelerated_port(),
+          reconfig::selectmap_port(), reconfig::icap_port()}) {
+        reconfig::ReconfigController ctrl(dev, port);
+        const int slot_cols = dev.cols() / 3;
+        ctrl.add_slot("slot0", {dev.cols() - slot_cols, dev.cols(), 0, dev.rows()});
+        for (const char* module : {"amp_phase", "capacity", "filter"})
+            ctrl.register_module("slot0", module);
+        for (const char* module : {"amp_phase", "capacity", "filter"})
+            (void)ctrl.load("slot0", module);
+        table.add_row({port.name, Table::num(ctrl.total_time_s() * 1e3, 2),
+                       Table::num(ctrl.total_time_s() / 0.1 * 100.0, 1) + " %",
+                       Table::num(ctrl.total_energy_mj(), 3)});
+    }
+    std::cout << table.render();
+}
+
+void print_bitstream_scaling() {
+    benchkit::print_header("Scaling", "JCAP load time vs slot width (XC3S400)");
+    const fabric::Device dev(fabric::PartName::XC3S400);
+    const auto port = reconfig::jcap_port();
+    Table table({"slot columns", "bitstream (KiB)", "load time (ms)"});
+    for (const int cols : {2, 4, 8, 12, 18, 28}) {
+        const auto bs = reconfig::Bitstream::partial(dev, "m", 0, cols);
+        table.add_row({std::to_string(cols), std::to_string(bs.bytes() / 1024),
+                       Table::num(port.config_time_s(bs) * 1e3, 2)});
+    }
+    std::cout << table.render();
+}
+
+void print_scrubbing() {
+    // §1/§5 motivation: "failure detection and recovery". Readback scrubbing
+    // over the configuration port detects and repairs SEUs; the port rate
+    // sets the detection latency.
+    benchkit::print_header("Extension", "SEU readback scrubbing (fault injection)");
+
+    const fabric::Device dev(fabric::PartName::XC3S400);
+    Rng rng(42);
+    Table table({"port", "full-device scan (ms)", "mean detect latency (ms)",
+                 "100 injected upsets: detected/repaired"});
+    for (const auto& port :
+         {reconfig::jcap_port(), reconfig::jcap_accelerated_port(),
+          reconfig::icap_port()}) {
+        reconfig::ConfigMemory memory(dev);
+        memory.load_columns(0, dev.cols(), 0xBADC0FFEEULL);
+        reconfig::Scrubber scrubber(memory, port);
+
+        int detected = 0;
+        int repaired = 0;
+        double scan_ms = 0.0;
+        // 10 rounds of 10 upsets each, scrubbed after every round.
+        for (int round = 0; round < 10; ++round) {
+            for (int i = 0; i < 10; ++i)
+                memory.inject_upset(
+                    static_cast<int>(rng.next_below(
+                        static_cast<std::uint32_t>(dev.cols()))),
+                    rng);
+            const reconfig::ScrubReport report = scrubber.scan(0, dev.cols());
+            detected += report.upsets_detected;
+            repaired += report.columns_repaired;
+            scan_ms = report.readback_s * 1e3;
+        }
+        const double latency_ms =
+            reconfig::mean_detection_latency_s(dev, port, 0.1) * 1e3;
+        table.add_row({port.name, Table::num(scan_ms, 2), Table::num(latency_ms, 1),
+                       std::to_string(detected) + "/" + std::to_string(repaired)});
+    }
+    std::cout << table.render();
+    std::cout << "(multiple upsets in one column count once: the column is "
+                 "rewritten whole; residual corruption after each scan is 0)\n";
+}
+
+void BM_ControllerLoad(benchmark::State& state) {
+    const fabric::Device dev(fabric::PartName::XC3S400);
+    reconfig::ReconfigController ctrl(dev, reconfig::jcap_port());
+    ctrl.add_slot("s", {0, 9, 0, dev.rows()});
+    ctrl.register_module("s", "a");
+    ctrl.register_module("s", "b");
+    bool flip = false;
+    for (auto _ : state) {
+        auto ev = ctrl.load("s", flip ? "a" : "b");
+        flip = !flip;
+        benchmark::DoNotOptimize(ev.time_s);
+    }
+}
+BENCHMARK(BM_ControllerLoad);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_port_table();
+    print_cycle_overhead();
+    print_bitstream_scaling();
+    print_scrubbing();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Table 1 — Resource utilization of the system on the Spartan-3 1000.
+//
+// Paper: slice counts for the static area (MicroBlaze, FSL, RS232, ...) and
+// the three reconfigurable modules (amp & phase, capacity, filter), with the
+// amp & phase module the largest. We rebuild the full system netlist,
+// partition it as in Fig. 2, and report per-partition slices/BRAM/MULT plus
+// the device-fit consequences.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "refpga/common/table.hpp"
+
+namespace {
+
+using namespace refpga;
+
+void print_table1() {
+    benchkit::print_header("Table 1", "resource utilization of the system (XC3S1000)");
+
+    const app::SystemNetlist sys = app::build_system_netlist({});
+    const auto stats = netlist::partition_stats(sys.nl);
+
+    Table table({"partition", "slices", "LUTs", "FFs", "MULT18", "BRAM"});
+    std::size_t total_slices = 0;
+    for (const auto& s : stats) {
+        table.add_row({s.name == "static" ? "static (MicroBlaze, FSL, JCAP, UART, sinus gen)"
+                                          : s.name,
+                       std::to_string(s.slices()), std::to_string(s.luts),
+                       std::to_string(s.ffs), std::to_string(s.mults),
+                       std::to_string(s.brams)});
+        total_slices += s.slices();
+    }
+    std::cout << table.render();
+
+    const auto amp = stats[1].slices();
+    const auto cap = stats[2].slices();
+    const auto filt = stats[3].slices();
+    std::cout << "total (all modules resident): " << total_slices << " slices\n";
+    std::cout << "largest reconfigurable module: amp_phase ("
+              << (amp > cap && amp > filt ? "as in the paper" : "UNEXPECTED")
+              << ")\n";
+    const auto fit = fabric::smallest_fit(static_cast<int>(total_slices), 0, 0);
+    std::cout << "smallest part for the monolithic system: "
+              << (fit ? fabric::part(*fit).id : "none") << "\n";
+    const auto resident = stats[0].slices() + amp;
+    const auto fit_reconf = fabric::smallest_fit(static_cast<int>(resident), 0, 0);
+    std::cout << "static + largest module (reconfigured system): " << resident
+              << " slices -> " << (fit_reconf ? fabric::part(*fit_reconf).id : "none")
+              << "\n";
+}
+
+void BM_BuildSystemNetlist(benchmark::State& state) {
+    for (auto _ : state) {
+        const app::SystemNetlist sys = app::build_system_netlist({});
+        benchmark::DoNotOptimize(sys.nl.cell_count());
+    }
+}
+BENCHMARK(BM_BuildSystemNetlist)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionStats(benchmark::State& state) {
+    const app::SystemNetlist sys = app::build_system_netlist({});
+    for (auto _ : state) {
+        auto stats = netlist::partition_stats(sys.nl);
+        benchmark::DoNotOptimize(stats);
+    }
+}
+BENCHMARK(BM_PartitionStats)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

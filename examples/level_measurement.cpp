@@ -1,0 +1,48 @@
+// Level measurement end to end: a tank is slowly filled while the complete
+// reconfigurable system (analog front end + sinus generator + HW modules +
+// JCAP module swapping) measures the level each 100 ms cycle.
+//
+//   ./build/examples/level_measurement
+#include <iomanip>
+#include <iostream>
+
+#include "refpga/app/system.hpp"
+
+int main() {
+    using namespace refpga;
+
+    app::SystemOptions options;
+    options.variant = app::SystemVariant::ReconfiguredHw;  // the paper's system
+    app::MeasurementSystem system(options);
+
+    std::cout << "capacity-based level measurement, reconfigured system on "
+              << fabric::part(options.part).id << " via " << options.port.name
+              << "\n\n";
+    std::cout << "cycle | true level | capacitance | measured | alarms\n";
+    std::cout << "------+------------+-------------+----------+-------\n";
+
+    // Fill the tank from 10 % to 90 % over 60 measurement cycles.
+    for (int cycle = 0; cycle < 60; ++cycle) {
+        const double true_level = 0.1 + 0.8 * cycle / 59.0;
+        system.set_true_level(true_level);
+        const app::CycleReport report = system.run_cycle();
+        if (cycle % 5 != 4) continue;  // print every 5th cycle
+        std::cout << std::setw(5) << cycle + 1 << " | " << std::fixed
+                  << std::setprecision(3) << std::setw(10) << true_level << " | "
+                  << std::setw(8) << report.capacitance_pf << " pF | "
+                  << std::setw(8) << report.level << " | "
+                  << (report.result.level.alarm_high
+                          ? "HIGH"
+                          : (report.result.level.alarm_low ? "LOW" : "-"))
+                  << "\n";
+    }
+
+    const auto& ctrl = system.controller();
+    std::cout << "\nreconfiguration ledger: " << ctrl.load_count() << " module loads, "
+              << std::setprecision(1) << ctrl.total_time_s() * 1e3 << " ms, "
+              << ctrl.total_energy_mj() << " mJ over " << system.cycles_run()
+              << " cycles\n";
+    std::cout << "(the EMA filter trails the fill on purpose: it averages out "
+                 "sloshing, per the application's requirements)\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "refpga/analog/delta_sigma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::analog {
+
+RcFilter::RcFilter(double cutoff_hz, double sample_hz) {
+    REFPGA_EXPECTS(cutoff_hz > 0.0 && sample_hz > 0.0);
+    // Exact discretization of dv/dt = (u - v) / RC.
+    const double rc = 1.0 / (2.0 * M_PI * cutoff_hz);
+    alpha_ = 1.0 - std::exp(-1.0 / (sample_hz * rc));
+}
+
+double RcFilter::step(double in) {
+    state_ += alpha_ * (in - state_);
+    return state_;
+}
+
+double DeltaSigmaDac::step(double u) {
+    const double y = s2_ >= 0.0 ? 1.0 : -1.0;
+    // Feedback before integration keeps the loop stable for |u| <= 1.
+    s1_ += u - y;
+    s2_ += s1_ - y;
+    return y;
+}
+
+void DeltaSigmaDac::reset() {
+    s1_ = 0.0;
+    s2_ = 0.0;
+}
+
+DeltaSigmaAdc::DeltaSigmaAdc(int decimation, int output_bits)
+    : decimation_(decimation), output_bits_(output_bits) {
+    REFPGA_EXPECTS(decimation >= 2 && decimation <= 4096);
+    REFPGA_EXPECTS(output_bits >= 4 && output_bits <= 24);
+    // CIC gain for 3 stages is R^3; normalize to the PCM range.
+    full_scale_ = std::pow(static_cast<double>(decimation_), 3.0);
+}
+
+std::optional<std::int32_t> DeltaSigmaAdc::step(double in) {
+    const double clipped = std::clamp(in, -1.0, 1.0);
+    const double y = s2_ >= 0.0 ? 1.0 : -1.0;
+    s1_ += clipped - y;
+    s2_ += s1_ - y;
+    const std::int64_t bit = y > 0.0 ? 1 : -1;
+
+    // 3 cascaded integrators at the modulator rate.
+    integ_[0] += bit;
+    integ_[1] += integ_[0];
+    integ_[2] += integ_[1];
+
+    if (++phase_ < decimation_) return std::nullopt;
+    phase_ = 0;
+
+    // 3 cascaded combs at the decimated rate.
+    std::int64_t v = integ_[2];
+    for (auto& c : comb_) {
+        const std::int64_t prev = c;
+        c = v;
+        v -= prev;
+    }
+
+    const double norm = static_cast<double>(v) / full_scale_;  // roughly [-1, 1]
+    const double max_code = static_cast<double>((std::int64_t{1} << (output_bits_ - 1)) - 1);
+    const double scaled = std::clamp(norm, -1.0, 1.0) * max_code;
+    return static_cast<std::int32_t>(std::lround(scaled));
+}
+
+void DeltaSigmaAdc::reset() {
+    s1_ = s2_ = 0.0;
+    for (auto& i : integ_) i = 0;
+    for (auto& c : comb_) c = 0;
+    phase_ = 0;
+}
+
+}  // namespace refpga::analog

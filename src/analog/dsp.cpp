@@ -1,0 +1,129 @@
+#include "refpga/analog/dsp.hpp"
+
+#include <cmath>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::analog {
+
+void fft(std::vector<std::complex<double>>& x) {
+    const std::size_t n = x.size();
+    REFPGA_EXPECTS(n != 0 && (n & (n - 1)) == 0);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(x[i], x[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = x[i + k];
+                const std::complex<double> v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+    std::vector<std::complex<double>> c(x.begin(), x.end());
+    fft(c);
+    return c;
+}
+
+AmpPhase goertzel(std::span<const double> x, int k) {
+    REFPGA_EXPECTS(!x.empty());
+    const auto n = static_cast<double>(x.size());
+    const double w = 2.0 * M_PI * static_cast<double>(k) / n;
+    const double coeff = 2.0 * std::cos(w);
+    double s_prev = 0.0;
+    double s_prev2 = 0.0;
+    for (const double sample : x) {
+        const double s = sample + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // Final correction by e^{jw}: the recurrence leaves the phase referenced
+    // to sample N-1; this re-references it to sample 0.
+    const std::complex<double> y =
+        std::complex<double>(s_prev - s_prev2 * std::cos(w), s_prev2 * std::sin(w)) *
+        std::exp(std::complex<double>(0.0, w));
+    AmpPhase result;
+    result.amplitude = 2.0 * std::abs(y) / n;
+    result.phase_rad = std::arg(y);
+    return result;
+}
+
+double band_sndr_db(std::span<const double> x, int k, int band_bins) {
+    REFPGA_EXPECTS(k > 0 && band_bins > k);
+    const std::size_t n = x.size();
+    REFPGA_EXPECTS(n != 0 && (n & (n - 1)) == 0);
+    REFPGA_EXPECTS(static_cast<std::size_t>(band_bins) < n / 2);
+    std::vector<std::complex<double>> c(x.begin(), x.end());
+    fft(c);
+    double p_fund = 0.0;
+    double p_band = 0.0;
+    for (int b = 1; b <= band_bins; ++b) {
+        const double p = std::norm(c[static_cast<std::size_t>(b)]);
+        if (b >= k - 1 && b <= k + 1)
+            p_fund += p;
+        else
+            p_band += p;
+    }
+    return 10.0 * std::log10(std::max(p_fund, 1e-30) / std::max(p_band, 1e-30));
+}
+
+ToneQuality analyze_tone(std::span<const double> x, int k) {
+    REFPGA_EXPECTS(k > 0);
+    const std::size_t n = x.size();
+    REFPGA_EXPECTS(n != 0 && (n & (n - 1)) == 0);
+
+    // Hann window (suppresses leakage from slight bin misalignment).
+    std::vector<std::complex<double>> c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w =
+            0.5 - 0.5 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                 static_cast<double>(n));
+        c[i] = x[i] * w;
+    }
+    fft(c);
+
+    auto bin_power = [&](std::size_t bin) {
+        // Sum a 3-bin cluster to collect the Hann-spread energy.
+        double p = 0.0;
+        for (std::size_t b = bin > 0 ? bin - 1 : 0; b <= bin + 1 && b < n / 2; ++b)
+            p += std::norm(c[b]);
+        return p;
+    };
+
+    const double p_fund = bin_power(static_cast<std::size_t>(k));
+    double p_harm = 0.0;
+    for (int h = 2; h <= 9; ++h) {
+        const auto bin = static_cast<std::size_t>(h * k);
+        if (bin >= n / 2) break;
+        p_harm += bin_power(bin);
+    }
+    double p_total = 0.0;
+    for (std::size_t b = 1; b < n / 2; ++b) p_total += std::norm(c[b]);
+    const double p_noise_dist = std::max(p_total - p_fund, 1e-30);
+
+    ToneQuality q;
+    // Hann-windowed coherent tone spreads over 3 bins as (N A/8, N A/4, N A/8),
+    // so the cluster power is 3/32 * N^2 A^2 = 0.09375 N^2 A^2.
+    q.fundamental_amplitude =
+        std::sqrt(p_fund / 0.09375) / static_cast<double>(n);
+    q.thd_db = 10.0 * std::log10(std::max(p_harm, 1e-30) / p_fund);
+    q.sndr_db = 10.0 * std::log10(p_fund / p_noise_dist);
+    return q;
+}
+
+}  // namespace refpga::analog

@@ -1,0 +1,92 @@
+// Delta-sigma data converters and RC filters.
+//
+// §4.1 replaces the board-level DA/AD converters with the Xilinx delta-sigma
+// cores plus small external analog filters. The DAC is a second-order 1-bit
+// modulator whose bitstream an external RC low-pass reconstructs; the ADC is
+// the dual (analog second-order modulator, digital CIC decimator). The paper
+// validated by "real hardware tests and Fourier analysis" that the DAC,
+// nominally an audio core, still produces a clean 500 kHz sine at 16 MSPS —
+// our FFT-based bench (Fig. 3) repeats that check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace refpga::analog {
+
+/// Single-pole RC low-pass, advanced at a fixed sample rate.
+class RcFilter {
+public:
+    /// cutoff_hz / sample_hz define the pole; state starts at 0.
+    RcFilter(double cutoff_hz, double sample_hz);
+
+    double step(double in);
+    [[nodiscard]] double value() const { return state_; }
+    void reset() { state_ = 0.0; }
+
+private:
+    double alpha_;
+    double state_ = 0.0;
+};
+
+/// Two cascaded RC sections (the board-level Sallen-Key-ish low-pass used to
+/// reconstruct the delta-sigma bitstream and to band-limit the ADC inputs;
+/// a single pole does not suppress the shaped quantization noise enough).
+class RcFilter2 {
+public:
+    RcFilter2(double cutoff_hz, double sample_hz)
+        : a_(cutoff_hz, sample_hz), b_(cutoff_hz, sample_hz) {}
+
+    double step(double in) { return b_.step(a_.step(in)); }
+    [[nodiscard]] double value() const { return b_.value(); }
+    void reset() {
+        a_.reset();
+        b_.reset();
+    }
+
+private:
+    RcFilter a_;
+    RcFilter b_;
+};
+
+/// Second-order 1-bit delta-sigma modulator (DAC digital core).
+/// Input in [-1, 1]; output is the +/-1 bitstream.
+class DeltaSigmaDac {
+public:
+    double step(double u);
+    void reset();
+
+private:
+    double s1_ = 0.0;
+    double s2_ = 0.0;
+};
+
+/// Second-order delta-sigma ADC: analog modulator + 3-stage CIC decimator.
+/// step() consumes one analog sample (in [-1, 1]) at the modulator rate and
+/// yields a signed PCM sample every `decimation` inputs.
+class DeltaSigmaAdc {
+public:
+    /// output_bits bounds the PCM range: samples are in
+    /// [-2^(bits-1), 2^(bits-1) - 1].
+    DeltaSigmaAdc(int decimation, int output_bits);
+
+    [[nodiscard]] std::optional<std::int32_t> step(double in);
+    void reset();
+
+    [[nodiscard]] int decimation() const { return decimation_; }
+    [[nodiscard]] int output_bits() const { return output_bits_; }
+
+private:
+    int decimation_;
+    int output_bits_;
+    // Modulator state.
+    double s1_ = 0.0;
+    double s2_ = 0.0;
+    // CIC integrator/comb state (3 stages).
+    std::int64_t integ_[3] = {0, 0, 0};
+    std::int64_t comb_[3] = {0, 0, 0};
+    int phase_ = 0;
+    double full_scale_;
+};
+
+}  // namespace refpga::analog

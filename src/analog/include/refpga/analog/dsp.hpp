@@ -1,0 +1,43 @@
+// DSP reference kernels: FFT, Goertzel, tone quality metrics.
+//
+// These are the double-precision golden models against which the fixed-point
+// hardware modules and the soft-core software are checked, and the "Fourier
+// analysis" instrument of §4.1 (spectral purity of the delta-sigma sinus
+// generator).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace refpga::analog {
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+void fft(std::vector<std::complex<double>>& x);
+
+/// Forward FFT of a real signal; returns the complex spectrum.
+[[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+struct AmpPhase {
+    double amplitude = 0.0;  ///< peak amplitude of the bin's sinusoid
+    double phase_rad = 0.0;
+};
+
+/// Goertzel single-bin DFT at integer bin `k` over the whole span.
+[[nodiscard]] AmpPhase goertzel(std::span<const double> x, int k);
+
+struct ToneQuality {
+    double fundamental_amplitude = 0.0;
+    double thd_db = 0.0;   ///< total harmonic distortion (first 8 harmonics)
+    double sndr_db = 0.0;  ///< signal to noise-and-distortion
+};
+
+/// Analyzes a tone at integer bin `k` (Hann-windowed, power-of-two length).
+[[nodiscard]] ToneQuality analyze_tone(std::span<const double> x, int k);
+
+/// Signal-to-noise-and-distortion within bins [1, band_bins] only. For
+/// delta-sigma sources this is the meaningful figure: the shaped quantization
+/// noise lives out of band and is removed by the reconstruction filter.
+[[nodiscard]] double band_sndr_db(std::span<const double> x, int k, int band_bins);
+
+}  // namespace refpga::analog

@@ -1,0 +1,64 @@
+// Complete analog front end: drive -> reconstruction filter -> tank ->
+// anti-alias filters -> dual delta-sigma ADCs (measurement + reference).
+//
+// Two drive variants mirror the paper's §4.1 progression:
+//   - step_code8(): the first prototype's external 8-bit DAC;
+//   - step_ds_bit(): the improved design's on-chip delta-sigma DAC bit,
+//     reconstructed by the external RC low-pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "refpga/analog/delta_sigma.hpp"
+#include "refpga/analog/tank.hpp"
+
+namespace refpga::analog {
+
+struct FrontEndConfig {
+    double modulator_hz = 16e6;       ///< DAC bit / ADC modulator rate (16 MSPS)
+    double signal_hz = 500e3;         ///< excitation frequency
+    int adc_decimation = 5;           ///< PCM rate = modulator / decimation (3.2 MHz)
+    int adc_bits = 12;
+    double recon_cutoff_hz = 1.5e6;   ///< DAC reconstruction low-pass
+    double antialias_cutoff_hz = 800e3;
+    TankParams tank;
+};
+
+class FrontEnd {
+public:
+    explicit FrontEnd(FrontEndConfig config = {}, std::uint64_t noise_seed = 7);
+
+    [[nodiscard]] const FrontEndConfig& config() const { return config_; }
+    [[nodiscard]] TankCircuit& tank() { return tank_; }
+    [[nodiscard]] const TankCircuit& tank() const { return tank_; }
+
+    [[nodiscard]] double pcm_rate_hz() const {
+        return config_.modulator_hz / config_.adc_decimation;
+    }
+
+    struct PcmPair {
+        std::int32_t meas = 0;
+        std::int32_t ref = 0;
+    };
+
+    /// One modulator-rate step driven by an 8-bit DAC code (0..255 maps to
+    /// [-1, 1) volts). Yields a PCM pair every adc_decimation steps.
+    std::optional<PcmPair> step_code8(std::uint8_t code);
+
+    /// One modulator-rate step driven by a delta-sigma DAC output bit.
+    std::optional<PcmPair> step_ds_bit(bool bit);
+
+private:
+    std::optional<PcmPair> advance(double drive_raw_v);
+
+    FrontEndConfig config_;
+    TankCircuit tank_;
+    RcFilter2 recon_;
+    RcFilter2 alias_meas_;
+    RcFilter2 alias_ref_;
+    DeltaSigmaAdc adc_meas_;
+    DeltaSigmaAdc adc_ref_;
+};
+
+}  // namespace refpga::analog

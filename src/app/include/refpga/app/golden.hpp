@@ -1,0 +1,101 @@
+// Bit-exact golden models of the data-processing pipeline.
+//
+// These integer models define the reference semantics the hardware netlists
+// must match exactly (tests assert equality) and the soft-core software
+// implements instruction by instruction. All arithmetic is two's-complement
+// with the widths in AppParams; wrap/truncate behaviour mirrors the fabric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "refpga/app/params.hpp"
+
+namespace refpga::app::golden {
+
+/// MAC stage output: I/Q correlation accumulators for both channels.
+struct WindowAccumulators {
+    std::int32_t i_meas = 0;
+    std::int32_t q_meas = 0;
+    std::int32_t i_ref = 0;
+    std::int32_t q_ref = 0;
+};
+
+/// Correlates one window of PCM samples against the k-bin sin/cos tables
+/// (DDS phase accumulator, exactly as the hardware does).
+[[nodiscard]] WindowAccumulators accumulate_window(std::span<const std::int32_t> meas,
+                                                   std::span<const std::int32_t> ref,
+                                                   const AppParams& params);
+
+struct ChannelResult {
+    std::uint32_t amplitude = 0;  ///< 16-bit
+    std::uint32_t phase = 0;      ///< angle_bits-bit turns
+};
+
+/// CORDIC vectoring + gain correction on truncated accumulators.
+[[nodiscard]] ChannelResult amp_phase(std::int32_t acc_i, std::int32_t acc_q,
+                                      const AppParams& params);
+
+/// Raw CORDIC vectoring (exposed for unit tests): returns {magnitude, angle}.
+struct CordicVector {
+    std::int32_t magnitude = 0;
+    std::uint32_t angle = 0;
+};
+[[nodiscard]] CordicVector cordic_vector(std::int32_t x, std::int32_t y,
+                                         const AppParams& params);
+
+/// Unsigned restoring division: floor((num << frac_bits) / den), saturated to
+/// `out_bits`. den == 0 saturates.
+[[nodiscard]] std::uint32_t divide_sat(std::uint32_t num, std::uint32_t den,
+                                       int frac_bits, int out_bits);
+
+struct CapacityResult {
+    std::uint32_t ratio_q12 = 0;   ///< amplitude ratio, saturating Q12
+    std::int32_t cos_q11 = 0;      ///< cos(delta phase) from the table
+    std::uint32_t cap_pf_q4 = 0;   ///< capacitance in pF, Q4
+};
+
+/// Capacity from the two channels' amplitude/phase: C = C_ref * r * cos(dphi).
+[[nodiscard]] CapacityResult capacity(const ChannelResult& meas,
+                                      const ChannelResult& ref,
+                                      const AppParams& params);
+
+/// Streaming filter/level state (median-3 + EMA + linearization).
+class FilterState {
+public:
+    explicit FilterState(const AppParams& params) : params_(params) {}
+
+    struct Output {
+        std::uint32_t level_q15 = 0;
+        bool alarm_high = false;
+        bool alarm_low = false;
+    };
+
+    /// Consumes one capacity sample (pF Q4), returns the filtered level.
+    Output step(std::uint32_t cap_pf_q4);
+
+    [[nodiscard]] std::uint32_t ema() const { return ema_; }
+
+private:
+    AppParams params_;
+    std::uint32_t history_[3] = {0, 0, 0};
+    std::uint32_t ema_ = 0;
+};
+
+/// Full pipeline over one window (the per-cycle result): PCM in, level out.
+struct CycleResult {
+    ChannelResult meas;
+    ChannelResult ref;
+    CapacityResult cap;
+    FilterState::Output level;
+};
+[[nodiscard]] CycleResult process_window(std::span<const std::int32_t> meas,
+                                         std::span<const std::int32_t> ref,
+                                         FilterState& filter, const AppParams& params);
+
+/// Level slope for the linearization step: Q10 multiplier such that
+/// level_q15 = ((cap - c_empty) * slope) >> 10, clamped.
+[[nodiscard]] std::int32_t level_slope_q10(const AppParams& params);
+
+}  // namespace refpga::app::golden

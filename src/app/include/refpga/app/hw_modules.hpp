@@ -1,0 +1,96 @@
+// Hardware implementations of the measurement pipeline, as netlist
+// generators (the System Generator modules of §4.2, rebuilt as LUT/FF/MULT
+// structures). Each generator emits into the builder's *current partition*,
+// so the system can place each module in the static area or in a
+// reconfigurable slot.
+//
+// Module protocol: streaming sample inputs with a `valid` clock enable and a
+// `clear` pulse; post-processing datapaths are combinational from the
+// accumulator registers, qualified by `done`.
+#pragma once
+
+#include "refpga/app/params.hpp"
+#include "refpga/netlist/builder.hpp"
+
+namespace refpga::app {
+
+/// Sinus generator (Fig. 3): 32-entry sine LUT + 5-bit address counter +
+/// on-chip second-order delta-sigma DAC. `tick` is the 16 MHz clock enable
+/// from the DCM model.
+struct SinusGeneratorIo {
+    netlist::Bus code8;     ///< 8-bit unsigned DAC code (external-DAC variant)
+    netlist::NetId ds_bit;  ///< delta-sigma bitstream (internal-DAC variant)
+};
+[[nodiscard]] SinusGeneratorIo make_sinus_generator(netlist::Builder& builder,
+                                                    netlist::NetId tick,
+                                                    const AppParams& params);
+
+/// Bit-exact C++ mirror of the generator's delta-sigma stage (for tests and
+/// for driving the analog front end without netlist simulation).
+class SinusGenModel {
+public:
+    explicit SinusGenModel(const AppParams& params);
+    /// One 16 MHz tick: returns {code8, ds_bit}.
+    struct Step {
+        std::uint32_t code8 = 0;
+        bool ds_bit = false;
+    };
+    Step step();
+
+private:
+    std::vector<std::int32_t> table_;
+    std::uint32_t addr_ = 0;
+    std::int32_t s1_ = 0;
+    std::int32_t s2_ = 0;
+};
+
+/// Amplitude & phase module (the largest reconfigurable module): dual-channel
+/// I/Q correlator plus a channel-multiplexed CORDIC vectoring pipeline.
+struct AmpPhaseIo {
+    netlist::NetId done;    ///< window complete (N valid samples seen)
+    netlist::Bus amp;       ///< 16-bit amplitude of the selected channel
+    netlist::Bus phase;     ///< angle_bits phase of the selected channel
+};
+[[nodiscard]] AmpPhaseIo make_amp_phase(netlist::Builder& builder,
+                                        const netlist::Bus& meas,
+                                        const netlist::Bus& ref,
+                                        netlist::NetId valid, netlist::NetId clear,
+                                        netlist::NetId chan_sel,
+                                        const AppParams& params);
+
+/// Capacity module: C = C_ref * (A_m / A_r) * cos(phi_m - phi_r).
+struct CapacityIo {
+    netlist::Bus ratio_q12;  ///< ratio_bits-wide amplitude ratio
+    netlist::Bus cap_pf_q4;  ///< 16-bit capacitance, pF Q4
+};
+[[nodiscard]] CapacityIo make_capacity(netlist::Builder& builder,
+                                       const netlist::Bus& amp_m,
+                                       const netlist::Bus& ph_m,
+                                       const netlist::Bus& amp_r,
+                                       const netlist::Bus& ph_r,
+                                       const AppParams& params);
+
+/// Filter & level module: median-3 + EMA + linearization + alarms.
+struct FilterIo {
+    netlist::Bus level_q15;     ///< 16-bit level (Q15)
+    netlist::NetId alarm_high;
+    netlist::NetId alarm_low;
+    netlist::Bus ema;           ///< filter state (test observability)
+};
+[[nodiscard]] FilterIo make_filter(netlist::Builder& builder, const netlist::Bus& cap,
+                                   netlist::NetId cap_valid, const AppParams& params);
+
+/// ADC interface (static side): input registers + valid synchronizer for the
+/// two PCM channels.
+struct AdcInterfaceIo {
+    netlist::Bus meas;
+    netlist::Bus ref;
+    netlist::NetId valid;
+};
+[[nodiscard]] AdcInterfaceIo make_adc_interface(netlist::Builder& builder,
+                                                const netlist::Bus& meas_in,
+                                                const netlist::Bus& ref_in,
+                                                netlist::NetId valid_in,
+                                                const AppParams& params);
+
+}  // namespace refpga::app

@@ -1,0 +1,121 @@
+// Measurement-system orchestration: the three implementation variants the
+// paper walks through, a full-cycle scheduler (Fig. 4), and the structural
+// netlist used for floorplanning, Table 1 and the device-fit study.
+//
+// Variants:
+//   Software       — original algorithms on the MicroBlaze (first prototype)
+//   MonolithicHw   — all data-processing modules resident in fabric
+//   ReconfiguredHw — one reconfigurable slot, modules loaded in sequence via
+//                    the configuration port (the paper's final system)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/analog/frontend.hpp"
+#include "refpga/app/golden.hpp"
+#include "refpga/app/hw_modules.hpp"
+#include "refpga/app/params.hpp"
+#include "refpga/app/software.hpp"
+#include "refpga/netlist/netlist.hpp"
+#include "refpga/reconfig/controller.hpp"
+#include "refpga/soc/fabric_macros.hpp"
+
+namespace refpga::app {
+
+enum class SystemVariant { Software, MonolithicHw, ReconfiguredHw };
+
+[[nodiscard]] const char* variant_name(SystemVariant variant);
+
+struct SystemOptions {
+    SystemVariant variant = SystemVariant::ReconfiguredHw;
+    AppParams params;
+    SoftwareConfig software;                       ///< Software variant only
+    reconfig::ConfigPortSpec port;                 ///< ReconfiguredHw only
+    fabric::PartName part = fabric::PartName::XC3S400;
+    bool use_ds_dac = true;                        ///< internal delta-sigma DAC
+    /// Settling windows discarded before the measured window (analog filters
+    /// and the CIC need to charge up).
+    int settle_windows = 2;
+
+    SystemOptions();
+};
+
+/// One scheduled activity within a measurement cycle (a Fig. 4 row).
+struct CyclePhase {
+    std::string name;
+    double start_s = 0.0;
+    double duration_s = 0.0;
+};
+
+struct CycleReport {
+    golden::CycleResult result;
+    double level = 0.0;           ///< filtered level in [0, 1]
+    double capacitance_pf = 0.0;  ///< filtered capacitance estimate
+    std::vector<CyclePhase> phases;
+    double sampling_s = 0.0;
+    double processing_s = 0.0;
+    double reconfig_s = 0.0;
+
+    [[nodiscard]] double busy_s() const {
+        return sampling_s + processing_s + reconfig_s;
+    }
+};
+
+class MeasurementSystem {
+public:
+    explicit MeasurementSystem(SystemOptions options, std::uint64_t noise_seed = 7);
+
+    [[nodiscard]] const SystemOptions& options() const { return options_; }
+
+    /// Ground-truth tank level for the next cycles.
+    void set_true_level(double level);
+    [[nodiscard]] double true_level() const;
+
+    /// Runs one full measurement cycle (sampling -> processing [-> reconfig
+    /// between stages]) and returns the report.
+    CycleReport run_cycle();
+
+    [[nodiscard]] const reconfig::ReconfigController& controller() const {
+        return controller_;
+    }
+    [[nodiscard]] long cycles_run() const { return cycles_run_; }
+
+private:
+    void collect_window(std::vector<std::int32_t>& meas, std::vector<std::int32_t>& ref);
+
+    SystemOptions options_;
+    analog::FrontEnd frontend_;
+    SinusGenModel sinusgen_;
+    golden::FilterState filter_;
+    reconfig::ReconfigController controller_;
+    long cycles_run_ = 0;
+};
+
+/// Structural netlist of the complete system, partitioned into the static
+/// area and the three reconfigurable modules, with all boundary crossings
+/// going through bus macros.
+struct SystemNetlist {
+    netlist::Netlist nl;
+    netlist::PartitionId static_part;
+    netlist::PartitionId amp_part;
+    netlist::PartitionId cap_part;
+    netlist::PartitionId filt_part;
+};
+
+struct SystemNetlistOptions {
+    AppParams params;
+    soc::SoftIpBudgets soft_ip;  ///< static-area soft IP slice budgets
+    bool include_soft_ip = true;
+    /// Which reconfigurable modules are resident. The reconfigured system
+    /// never hosts more than one at a time; the worst case resident set is
+    /// {amp_phase} (the largest). Omitted modules are replaced by tied-off
+    /// result staging so the netlist stays DRC-clean.
+    bool include_amp = true;
+    bool include_capacity = true;
+    bool include_filter = true;
+};
+
+[[nodiscard]] SystemNetlist build_system_netlist(const SystemNetlistOptions& options = {});
+
+}  // namespace refpga::app

@@ -1,0 +1,35 @@
+// Lookup-table contents shared by hardware generators, golden models and the
+// soft-core software (single source of truth for bit-exactness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refpga/app/params.hpp"
+
+namespace refpga::app {
+
+/// Signed sine table: entry i = round((2^(bits-1) - 1) * sin(2*pi*i / size)).
+[[nodiscard]] std::vector<std::int32_t> sine_table(int size, int bits);
+
+/// Signed cosine table with the same scaling.
+[[nodiscard]] std::vector<std::int32_t> cosine_table(int size, int bits);
+
+/// 32-entry unsigned 8-bit DAC code table for the sinus generator: sine at
+/// 0.8 of full scale (second-order delta-sigma modulators overload near
+/// full-scale inputs), centred on 128.
+[[nodiscard]] std::vector<std::uint32_t> sinus_dac_codes();
+
+/// CORDIC arc-tangent constants in angle turns:
+/// entry i = round(atan(2^-i) / (2*pi) * 2^angle_bits).
+[[nodiscard]] std::vector<std::int32_t> cordic_atan_table(int stages, int angle_bits);
+
+/// Inverse CORDIC gain 1/K in Q15 for the given stage count.
+[[nodiscard]] std::int32_t cordic_inv_gain_q15(int stages);
+
+/// Two's-complement encode of a signed value into `bits` bits.
+[[nodiscard]] std::uint32_t encode_signed(std::int32_t value, int bits);
+/// Sign-extend the low `bits` bits of a word.
+[[nodiscard]] std::int32_t decode_signed(std::uint32_t word, int bits);
+
+}  // namespace refpga::app

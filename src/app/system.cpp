@@ -1,0 +1,262 @@
+#include "refpga/app/system.hpp"
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/reconfig/busmacro.hpp"
+
+namespace refpga::app {
+
+const char* variant_name(SystemVariant variant) {
+    switch (variant) {
+        case SystemVariant::Software: return "software";
+        case SystemVariant::MonolithicHw: return "monolithic-hw";
+        case SystemVariant::ReconfiguredHw: return "reconfigured-hw";
+    }
+    return "?";
+}
+
+SystemOptions::SystemOptions() : port(reconfig::jcap_port()) {}
+
+namespace {
+
+analog::FrontEndConfig frontend_config(const AppParams& params) {
+    analog::FrontEndConfig cfg;
+    cfg.modulator_hz = params.modulator_hz;
+    cfg.signal_hz = params.signal_hz;
+    cfg.adc_decimation = params.adc_decimation;
+    cfg.tank.c_ref_pf = params.c_ref_pf;
+    cfg.tank.c_empty_pf = params.c_empty_pf;
+    cfg.tank.c_full_pf = params.c_full_pf;
+    return cfg;
+}
+
+}  // namespace
+
+MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_seed)
+    : options_(std::move(options)),
+      frontend_(frontend_config(options_.params), noise_seed),
+      sinusgen_(options_.params),
+      filter_(options_.params),
+      controller_(fabric::Device(options_.part), options_.port) {
+    if (options_.variant == SystemVariant::ReconfiguredHw) {
+        // One reconfigurable slot sized for the largest module (Fig. 2);
+        // geometry refined by the floorplanning benches — here the slot only
+        // needs a column range for bitstream sizing. A third of the device
+        // matches the measured module sizes on the XC3S400.
+        const fabric::Device dev(options_.part);
+        const int slot_cols = dev.cols() / 3;
+        controller_.add_slot("slot0", {dev.cols() - slot_cols, dev.cols(), 0,
+                                       dev.rows()});
+        controller_.register_module("slot0", "amp_phase");
+        controller_.register_module("slot0", "capacity");
+        controller_.register_module("slot0", "filter");
+    }
+}
+
+void MeasurementSystem::set_true_level(double level) {
+    frontend_.tank().set_level(level);
+}
+
+double MeasurementSystem::true_level() const { return frontend_.tank().level(); }
+
+void MeasurementSystem::collect_window(std::vector<std::int32_t>& meas,
+                                       std::vector<std::int32_t>& ref) {
+    const AppParams& p = options_.params;
+    meas.clear();
+    ref.clear();
+    const int needed = p.window * (1 + options_.settle_windows);
+    int collected = 0;
+    while (collected < needed) {
+        const SinusGenModel::Step drive = sinusgen_.step();
+        const auto pcm = options_.use_ds_dac
+                             ? frontend_.step_ds_bit(drive.ds_bit)
+                             : frontend_.step_code8(
+                                   static_cast<std::uint8_t>(drive.code8));
+        if (!pcm) continue;
+        ++collected;
+        if (collected > options_.settle_windows * p.window) {
+            meas.push_back(pcm->meas);
+            ref.push_back(pcm->ref);
+        }
+    }
+}
+
+CycleReport MeasurementSystem::run_cycle() {
+    const AppParams& p = options_.params;
+    CycleReport report;
+    double t = 0.0;
+
+    // --- Phase 1: AD conversion of the measurement/reference signals --------
+    std::vector<std::int32_t> meas;
+    std::vector<std::int32_t> ref;
+    collect_window(meas, ref);
+    report.sampling_s = static_cast<double>(p.window * (1 + options_.settle_windows)) /
+                        p.pcm_rate_hz();
+    report.phases.push_back({"AD conversion (sample window)", t, report.sampling_s});
+    t += report.sampling_s;
+
+    auto add_reconfig = [&](const char* module) {
+        if (options_.variant != SystemVariant::ReconfiguredHw) return;
+        const reconfig::ReconfigEvent ev = controller_.load("slot0", module);
+        if (ev.time_s > 0.0) {
+            report.phases.push_back({std::string("reconfig: ") + module, t, ev.time_s});
+            report.reconfig_s += ev.time_s;
+            t += ev.time_s;
+        }
+    };
+    auto add_processing = [&](const char* name, double seconds) {
+        report.phases.push_back({name, t, seconds});
+        report.processing_s += seconds;
+        t += seconds;
+    };
+
+    if (options_.variant == SystemVariant::Software) {
+        // The MicroBlaze executes the full pipeline from the sample buffers.
+        const SoftwareRun run =
+            run_software_cycle(meas, ref, p, options_.software);
+        add_processing("software data processing (MicroBlaze)",
+                       run.seconds(p.system_clock_hz));
+        report.result.meas = {run.amp_meas, run.phase_meas};
+        report.result.ref = {run.amp_ref, run.phase_ref};
+        report.result.cap.ratio_q12 = run.ratio_q12;
+        report.result.cap.cap_pf_q4 = run.cap_pf_q4;
+        report.result.level.level_q15 = run.level_q15;
+    } else {
+        // Hardware modules replay the buffered window at the system clock:
+        // N cycles of streaming MAC, then the combinational tail registered
+        // over a handful of cycles per stage.
+        const golden::WindowAccumulators acc = golden::accumulate_window(meas, ref, p);
+        add_reconfig("amp_phase");
+        report.result.meas = golden::amp_phase(acc.i_meas, acc.q_meas, p);
+        report.result.ref = golden::amp_phase(acc.i_ref, acc.q_ref, p);
+        add_processing("amplitude & phase (HW module)",
+                       static_cast<double>(p.window + 4) / p.system_clock_hz);
+
+        add_reconfig("capacity");
+        report.result.cap = golden::capacity(report.result.meas, report.result.ref, p);
+        add_processing("capacity computation (HW module)", 4.0 / p.system_clock_hz);
+
+        add_reconfig("filter");
+        report.result.level = filter_.step(report.result.cap.cap_pf_q4);
+        add_processing("filter & level (HW module)", 4.0 / p.system_clock_hz);
+    }
+
+    report.level = static_cast<double>(report.result.level.level_q15) / 32768.0;
+    report.capacitance_pf = static_cast<double>(report.result.cap.cap_pf_q4) / 16.0;
+    ++cycles_run_;
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// Structural system netlist
+// ---------------------------------------------------------------------------
+
+SystemNetlist build_system_netlist(const SystemNetlistOptions& options) {
+    using netlist::Builder;
+    using netlist::Bus;
+    using netlist::NetId;
+    const AppParams& p = options.params;
+
+    SystemNetlist sys;
+    sys.static_part = netlist::PartitionId{0};
+    sys.amp_part = sys.nl.add_partition("amp_phase");
+    sys.cap_part = sys.nl.add_partition("capacity");
+    sys.filt_part = sys.nl.add_partition("filter");
+
+    const Bus clk_port = sys.nl.add_input_port("clk", 1);
+    Builder b(sys.nl, clk_port[0]);
+
+    // ---- static area --------------------------------------------------------
+    const Bus meas_in = sys.nl.add_input_port("adc_meas", p.sample_bits);
+    const Bus ref_in = sys.nl.add_input_port("adc_ref", p.sample_bits);
+    const Bus valid_in = sys.nl.add_input_port("adc_valid", 1);
+    const Bus clear_in = sys.nl.add_input_port("window_clear", 1);
+    const Bus chan_in = sys.nl.add_input_port("chan_sel", 1);
+    const Bus tick16 = sys.nl.add_input_port("tick_16mhz", 1);
+
+    if (options.include_soft_ip) soc::emit_static_soft_ip(b, options.soft_ip);
+
+    const SinusGeneratorIo sinus = make_sinus_generator(b, tick16[0], p);
+    sys.nl.add_output_port("dac_code", sinus.code8);
+    sys.nl.add_output_port("dac_ds_bit", Bus{sinus.ds_bit});
+
+    const AdcInterfaceIo adc = make_adc_interface(b, meas_in, ref_in, valid_in[0], p);
+
+    // ---- amp/phase module (reconfigurable) ----------------------------------
+    // All boundary signals pass through slice-based bus macros. When a module
+    // is not resident, its result staging is tied off (the slot is empty).
+    Bus amp_back;
+    if (options.include_amp) {
+        Bus amp_in_m = reconfig::bus_macro(b, adc.meas, sys.static_part,
+                                           sys.amp_part, "meas");
+        Bus amp_in_r = reconfig::bus_macro(b, adc.ref, sys.static_part,
+                                           sys.amp_part, "ref");
+        Bus amp_ctrl = reconfig::bus_macro(
+            b, Bus{adc.valid, clear_in[0], chan_in[0]}, sys.static_part,
+            sys.amp_part, "ctl");
+        sys.nl.set_current_partition(sys.amp_part);
+        const AmpPhaseIo amp = make_amp_phase(b, amp_in_m, amp_in_r, amp_ctrl[0],
+                                              amp_ctrl[1], amp_ctrl[2], p);
+        // Results return to the static side and are registered there (the
+        // module can be swapped out afterwards).
+        amp_back = reconfig::bus_macro(
+            b, Builder::concat(Builder::concat(amp.amp, amp.phase), Bus{amp.done}),
+            sys.amp_part, sys.static_part, "ampres");
+    } else {
+        amp_back = b.constant(0, 16 + p.angle_bits + 1);
+    }
+    sys.nl.set_current_partition(sys.static_part);
+    const Bus amp_store = b.reg(amp_back, NetId{}, "amp_store");
+    const Bus amp_m_s = Builder::slice(amp_store, 0, 16);
+    const Bus ph_m_s = Builder::slice(amp_store, 16, p.angle_bits);
+    const NetId done_s = amp_store[16 + static_cast<std::size_t>(p.angle_bits)];
+    sys.nl.add_output_port("window_done", Bus{done_s});
+    // Second channel registers (static side latches both channel readouts).
+    const Bus amp_r_s = b.reg(amp_m_s, NetId{}, "amp_r_store");
+    const Bus ph_r_s = b.reg(ph_m_s, NetId{}, "ph_r_store");
+
+    // ---- capacity module ----------------------------------------------------
+    Bus cap_back;
+    if (options.include_capacity) {
+        const Bus cap_in = reconfig::bus_macro(
+            b,
+            Builder::concat(Builder::concat(amp_m_s, ph_m_s),
+                            Builder::concat(amp_r_s, ph_r_s)),
+            sys.static_part, sys.cap_part, "capin");
+        sys.nl.set_current_partition(sys.cap_part);
+        const CapacityIo cap = make_capacity(
+            b, Builder::slice(cap_in, 0, 16),
+            Builder::slice(cap_in, 16, p.angle_bits),
+            Builder::slice(cap_in, 16 + p.angle_bits, 16),
+            Builder::slice(cap_in, 32 + p.angle_bits, p.angle_bits), p);
+        cap_back = reconfig::bus_macro(b, cap.cap_pf_q4, sys.cap_part,
+                                       sys.static_part, "capres");
+    } else {
+        cap_back = b.constant(0, 16);
+    }
+    sys.nl.set_current_partition(sys.static_part);
+    const Bus cap_store = b.reg(cap_back, NetId{}, "cap_store");
+    sys.nl.add_output_port("capacity_q4", cap_store);
+
+    // ---- filter module ------------------------------------------------------
+    Bus filt_back;
+    if (options.include_filter) {
+        Bus filt_in = reconfig::bus_macro(b, Builder::concat(cap_store, Bus{done_s}),
+                                          sys.static_part, sys.filt_part, "filtin");
+        sys.nl.set_current_partition(sys.filt_part);
+        const FilterIo filt = make_filter(b, Builder::slice(filt_in, 0, 16),
+                                          filt_in[16], p);
+        filt_back = reconfig::bus_macro(
+            b, Builder::concat(filt.level_q15, Bus{filt.alarm_high, filt.alarm_low}),
+            sys.filt_part, sys.static_part, "filtres");
+    } else {
+        filt_back = b.constant(0, 18);
+    }
+    sys.nl.set_current_partition(sys.static_part);
+    const Bus level_store = b.reg(filt_back, NetId{}, "level_store");
+    sys.nl.add_output_port("level_q15", Builder::slice(level_store, 0, 16));
+    sys.nl.add_output_port("alarms", Builder::slice(level_store, 16, 2));
+
+    return sys;
+}
+
+}  // namespace refpga::app

@@ -1,0 +1,34 @@
+// Precondition/postcondition contract checks (GSL Expects/Ensures style).
+//
+// Violations indicate programming errors, not recoverable runtime conditions,
+// so they throw ContractViolation carrying the failed expression and location;
+// callers are not expected to catch it outside of tests.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace refpga {
+
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file +
+                            ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace refpga
+
+#define REFPGA_EXPECTS(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                               \
+            : ::refpga::detail::contract_fail("precondition", #cond, __FILE__, __LINE__))
+
+#define REFPGA_ENSURES(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                               \
+            : ::refpga::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__))

@@ -1,0 +1,93 @@
+// Compile-time Q-format fixed-point arithmetic.
+//
+// The measurement algorithms (Goertzel correlation, capacity computation,
+// filtering) run in fixed point both in the hardware modules and in the
+// soft-core software, mirroring how the original system avoids an FPU.
+// Fixed<I, F> holds a signed value with I integer bits and F fraction bits
+// in a 64-bit container; arithmetic saturates rather than wrapping so that
+// overflow bugs surface as clamped levels, not garbage.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga {
+
+template <int IntBits, int FracBits>
+class Fixed {
+    static_assert(IntBits >= 1, "need at least a sign bit");
+    static_assert(FracBits >= 0);
+    static_assert(IntBits + FracBits <= 63, "must fit in int64 container");
+
+public:
+    static constexpr int kIntBits = IntBits;
+    static constexpr int kFracBits = FracBits;
+    static constexpr std::int64_t kOne = std::int64_t{1} << FracBits;
+    static constexpr std::int64_t kMaxRaw =
+        (std::int64_t{1} << (IntBits + FracBits - 1)) - 1;
+    static constexpr std::int64_t kMinRaw = -(std::int64_t{1} << (IntBits + FracBits - 1));
+
+    constexpr Fixed() = default;
+
+    static constexpr Fixed from_raw(std::int64_t raw) {
+        Fixed f;
+        f.raw_ = saturate(raw);
+        return f;
+    }
+
+    static Fixed from_double(double v) {
+        return from_raw(static_cast<std::int64_t>(std::llround(v * static_cast<double>(kOne))));
+    }
+
+    static constexpr Fixed from_int(std::int64_t v) { return from_raw(v << FracBits); }
+
+    [[nodiscard]] constexpr std::int64_t raw() const { return raw_; }
+    [[nodiscard]] double to_double() const {
+        return static_cast<double>(raw_) / static_cast<double>(kOne);
+    }
+
+    friend constexpr Fixed operator+(Fixed a, Fixed b) { return from_raw(a.raw_ + b.raw_); }
+    friend constexpr Fixed operator-(Fixed a, Fixed b) { return from_raw(a.raw_ - b.raw_); }
+    friend constexpr Fixed operator-(Fixed a) { return from_raw(-a.raw_); }
+
+    friend constexpr Fixed operator*(Fixed a, Fixed b) {
+        // 128-bit intermediate keeps full precision before rescaling.
+        __int128 p = static_cast<__int128>(a.raw_) * b.raw_;
+        p >>= FracBits;
+        return from_raw(clamp128(p));
+    }
+
+    friend constexpr Fixed operator/(Fixed a, Fixed b) {
+        REFPGA_EXPECTS(b.raw_ != 0);
+        __int128 n = static_cast<__int128>(a.raw_) << FracBits;
+        return from_raw(clamp128(n / b.raw_));
+    }
+
+    friend constexpr bool operator==(Fixed, Fixed) = default;
+    friend constexpr auto operator<=>(Fixed, Fixed) = default;
+
+    friend std::ostream& operator<<(std::ostream& os, Fixed f) { return os << f.to_double(); }
+
+private:
+    static constexpr std::int64_t saturate(std::int64_t raw) {
+        return std::clamp(raw, kMinRaw, kMaxRaw);
+    }
+    static constexpr std::int64_t clamp128(__int128 v) {
+        if (v > kMaxRaw) return kMaxRaw;
+        if (v < kMinRaw) return kMinRaw;
+        return static_cast<std::int64_t>(v);
+    }
+
+    std::int64_t raw_ = 0;
+};
+
+/// Q16.16: the working format of the data-processing pipeline.
+using Q16 = Fixed<16, 16>;
+/// Q8.24: higher-precision accumulator format for Goertzel sums.
+using Q8_24 = Fixed<8, 24>;
+
+}  // namespace refpga

@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (Level::Warning); tools raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace refpga {
+
+enum class LogLevel { Debug, Info, Warning, Error, Off };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log_fmt(LogLevel::Debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log_fmt(LogLevel::Info, args...); }
+template <typename... Args>
+void log_warning(const Args&... args) { detail::log_fmt(LogLevel::Warning, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log_fmt(LogLevel::Error, args...); }
+
+}  // namespace refpga

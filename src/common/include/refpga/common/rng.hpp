@@ -1,0 +1,60 @@
+// Deterministic pseudo-random source for placement, noise injection and tests.
+//
+// A thin wrapper over a SplitMix64/xoshiro256** pair so results are exactly
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace refpga {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+        // SplitMix64 expansion of the seed into xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint32_t next_below(std::uint32_t bound) {
+        return static_cast<std::uint32_t>(next_u64() % bound);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Approximately standard-normal variate (sum of uniforms, Irwin-Hall 12).
+    double next_gaussian() {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i) s += next_double();
+        return s - 6.0;
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace refpga

@@ -1,0 +1,40 @@
+// Strongly-typed integer identifiers.
+//
+// Index-like handles (cells, nets, tiles, wires, ...) are all integers at heart;
+// StrongId prevents mixing a NetId where a CellId is expected while staying a
+// zero-overhead wrapper usable as a vector index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace refpga {
+
+template <typename Tag>
+class StrongId {
+public:
+    using value_type = std::uint32_t;
+    static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(value_type v) : value_(v) {}
+
+    [[nodiscard]] constexpr value_type value() const { return value_; }
+    [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+    friend constexpr bool operator==(StrongId, StrongId) = default;
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+private:
+    value_type value_ = kInvalid;
+};
+
+}  // namespace refpga
+
+template <typename Tag>
+struct std::hash<refpga::StrongId<Tag>> {
+    std::size_t operator()(refpga::StrongId<Tag> id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value());
+    }
+};

@@ -1,0 +1,30 @@
+#include "refpga/common/log.hpp"
+
+#include <iostream>
+
+namespace refpga {
+
+namespace {
+LogLevel g_level = LogLevel::Warning;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warning: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+    if (level < g_level) return;
+    std::cerr << "[refpga:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace refpga

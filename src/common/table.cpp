@@ -1,0 +1,55 @@
+#include "refpga/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    REFPGA_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    REFPGA_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << ' ' << std::setw(static_cast<int>(width[c])) << std::left << row[c] << " |";
+        os << '\n';
+    };
+    auto emit_rule = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto& row : rows_) emit_row(row);
+    emit_rule();
+    return os.str();
+}
+
+}  // namespace refpga

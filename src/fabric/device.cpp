@@ -1,0 +1,46 @@
+#include "refpga/fabric/device.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::fabric {
+
+Device::Device(PartName name) : part_(refpga::fabric::part(name)) {
+    // The full bitstream covers every CLB column plus a fixed number of
+    // special columns (IOB/GCLK/BRAM); special columns are modelled with the
+    // same per-column cost, so:
+    //   config_bits = bits_per_column * (clb_cols + kExtraConfigColumns)
+    bits_per_clb_column_ = part_.config_bits / (part_.clb_cols + kExtraConfigColumns);
+
+    // BRAM columns: smaller parts have 2 columns near the die edges, larger
+    // parts 4. Blocks are distributed evenly over a column's height.
+    const int bram_columns = part_.bram_blocks <= 16 ? 2 : 4;
+    const int per_column = part_.bram_blocks / bram_columns;
+    for (int c = 0; c < bram_columns; ++c) {
+        const int x = (part_.clb_cols * (2 * c + 1)) / (2 * bram_columns);
+        for (int i = 0; i < per_column; ++i) {
+            const int y = (part_.clb_rows * (2 * i + 1)) / (2 * per_column);
+            bram_sites_.push_back({x, y, 0});
+            // MULT18 shares the interconnect tile right of its BRAM partner.
+            mult_sites_.push_back({x + 1 < part_.clb_cols ? x + 1 : x - 1, y, 0});
+        }
+    }
+}
+
+bool Device::valid_slice(const SliceCoord& s) const {
+    return s.x >= 0 && s.x < cols() && s.y >= 0 && s.y < rows() && s.index >= 0 &&
+           s.index < kSlicesPerClb;
+}
+
+std::int64_t Device::partial_bits(int x_begin, int x_end) const {
+    REFPGA_EXPECTS(x_begin >= 0 && x_begin < x_end && x_end <= cols());
+    return bits_per_clb_column_ * (x_end - x_begin);
+}
+
+int Device::distance(const SliceCoord& a, const SliceCoord& b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace refpga::fabric

@@ -1,0 +1,90 @@
+// Device model: the CLB/slice grid, BRAM/MULT18 sites and configuration
+// column geometry of a concrete Spartan-3 part.
+//
+// Spartan-3 configures in full-height column frames; a partial bitstream
+// therefore always covers a contiguous range of whole columns. That real
+// constraint shapes the paper's floorplan (static and dynamic areas are
+// vertical slabs, Fig. 2/5) and is enforced here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refpga/common/strong_id.hpp"
+#include "refpga/fabric/part.hpp"
+#include "refpga/fabric/wire.hpp"
+
+namespace refpga::fabric {
+
+/// Location of one slice: CLB tile (x, y) plus slice index 0..3 within it.
+struct SliceCoord {
+    int x = 0;
+    int y = 0;
+    int index = 0;
+
+    friend constexpr bool operator==(const SliceCoord&, const SliceCoord&) = default;
+};
+
+/// Rectangular region of whole CLB columns [x_begin, x_end) x rows [y_begin, y_end).
+struct Region {
+    int x_begin = 0;
+    int x_end = 0;
+    int y_begin = 0;
+    int y_end = 0;
+
+    [[nodiscard]] int width() const { return x_end - x_begin; }
+    [[nodiscard]] int height() const { return y_end - y_begin; }
+    [[nodiscard]] bool contains(int x, int y) const {
+        return x >= x_begin && x < x_end && y >= y_begin && y < y_end;
+    }
+    [[nodiscard]] int slice_capacity() const { return width() * height() * 4; }
+
+    friend constexpr bool operator==(const Region&, const Region&) = default;
+};
+
+class Device {
+public:
+    static constexpr int kSlicesPerClb = 4;
+    static constexpr int kLutsPerSlice = 2;
+    static constexpr int kFfsPerSlice = 2;
+    /// Non-CLB configuration columns (IOB, GCLK, BRAM interconnect) per device.
+    static constexpr int kExtraConfigColumns = 8;
+
+    explicit Device(PartName name);
+
+    [[nodiscard]] const Part& part() const { return part_; }
+    [[nodiscard]] int rows() const { return part_.clb_rows; }
+    [[nodiscard]] int cols() const { return part_.clb_cols; }
+    [[nodiscard]] int slice_count() const { return part_.slices; }
+
+    [[nodiscard]] Region full_region() const { return {0, cols(), 0, rows()}; }
+    [[nodiscard]] bool valid_slice(const SliceCoord& s) const;
+
+    /// BRAM site coordinates (one per 18-kbit block); columns follow DS099
+    /// (two block-RAM columns for the smaller parts, spread across the die).
+    [[nodiscard]] const std::vector<SliceCoord>& bram_sites() const { return bram_sites_; }
+    /// MULT18 sites are adjacent to their BRAM partner.
+    [[nodiscard]] const std::vector<SliceCoord>& mult_sites() const { return mult_sites_; }
+
+    // --- configuration geometry -------------------------------------------
+
+    /// Bits needed to configure one CLB column (full height).
+    [[nodiscard]] std::int64_t bits_per_clb_column() const { return bits_per_clb_column_; }
+
+    /// Bits of a partial bitstream covering CLB columns [x_begin, x_end).
+    [[nodiscard]] std::int64_t partial_bits(int x_begin, int x_end) const;
+
+    /// Bits of the full-device bitstream (matches the part's config_bits).
+    [[nodiscard]] std::int64_t full_bits() const { return part_.config_bits; }
+
+    /// Manhattan distance between two slice locations, in tiles.
+    [[nodiscard]] static int distance(const SliceCoord& a, const SliceCoord& b);
+
+private:
+    Part part_;
+    std::int64_t bits_per_clb_column_ = 0;
+    std::vector<SliceCoord> bram_sites_;
+    std::vector<SliceCoord> mult_sites_;
+};
+
+}  // namespace refpga::fabric

@@ -1,0 +1,39 @@
+// Routing wire types and their electrical model.
+//
+// Spartan-3 interconnect offers several segment lengths. Longer segments reach
+// further per hop (better delay) but load the driver with more metal and more
+// switch-box capacitance, which is exactly the trade-off §4.3 of the paper
+// exploits: re-routing a high-activity net from long lines onto direct/double
+// lines cuts its switched capacitance and thus its dynamic power.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace refpga::fabric {
+
+enum class WireType : int {
+    Direct,  ///< direct connect to a neighbouring tile (span 1)
+    Double,  ///< double line, spans 2 tiles
+    Hex,     ///< hex line, spans 6 tiles
+    Long,    ///< long line, spans a full row/column (modelled as 24 tiles)
+};
+
+inline constexpr int kWireTypeCount = 4;
+
+struct WireParams {
+    WireType type;
+    int span;               ///< tiles traversed per segment
+    double capacitance_pf;  ///< total switched capacitance per segment
+    double delay_ps;        ///< driver + segment delay per segment
+};
+
+/// Electrical parameters per wire type (calibrated model values; see DESIGN.md).
+[[nodiscard]] const WireParams& wire_params(WireType type);
+
+[[nodiscard]] std::string_view wire_type_name(WireType type);
+
+/// All wire types, shortest first.
+[[nodiscard]] std::array<WireType, kWireTypeCount> all_wire_types();
+
+}  // namespace refpga::fabric

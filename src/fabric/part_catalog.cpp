@@ -1,0 +1,50 @@
+#include "refpga/fabric/part.hpp"
+
+#include <array>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::fabric {
+
+namespace {
+
+// Geometry from DS099 Table 1; quiescent current and unit cost are model
+// calibrations (DS099 gives typical Iccintq in the tens of mA, growing with
+// density; prices reflect 2007-era volume pricing used for the paper's
+// cost argument).
+constexpr std::array<Part, 8> kParts{{
+    {PartName::XC3S50,   "xc3s50",   16,  12,   768,   4,   4, 2,    439264,  12.0,  4.0},
+    {PartName::XC3S200,  "xc3s200",  24,  20,  1920,  12,  12, 4,   1047616,  18.0,  7.5},
+    {PartName::XC3S400,  "xc3s400",  32,  28,  3584,  16,  16, 4,   1699136,  26.0, 12.0},
+    {PartName::XC3S1000, "xc3s1000", 48,  40,  7680,  24,  24, 4,   3223488,  44.0, 24.0},
+    {PartName::XC3S1500, "xc3s1500", 64,  52, 13312,  32,  32, 4,   5214784,  68.0, 42.0},
+    {PartName::XC3S2000, "xc3s2000", 80,  64, 20480,  40,  40, 4,   7673024,  96.0, 65.0},
+    {PartName::XC3S4000, "xc3s4000", 96,  72, 27648,  96,  96, 4,  11316864, 130.0, 98.0},
+    {PartName::XC3S5000, "xc3s5000", 104, 80, 33280, 104, 104, 4,  13271936, 155.0, 125.0},
+}};
+
+}  // namespace
+
+std::span<const Part> spartan3_parts() { return kParts; }
+
+const Part& part(PartName name) {
+    for (const Part& p : kParts)
+        if (p.name == name) return p;
+    REFPGA_EXPECTS(false && "unknown part");
+    return kParts[0];  // unreachable
+}
+
+std::optional<PartName> parse_part(std::string_view id) {
+    for (const Part& p : kParts)
+        if (p.id == id) return p.name;
+    return std::nullopt;
+}
+
+std::optional<PartName> smallest_fit(int slices, int brams, int mults) {
+    for (const Part& p : kParts)
+        if (p.slices >= slices && p.bram_blocks >= brams && p.multipliers >= mults)
+            return p.name;
+    return std::nullopt;
+}
+
+}  // namespace refpga::fabric

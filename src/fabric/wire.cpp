@@ -1,0 +1,42 @@
+#include "refpga/fabric/wire.hpp"
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::fabric {
+
+namespace {
+
+// Capacitance per segment grows faster than linearly with span because longer
+// segments pass more switch boxes; delay per *tile reached* still falls with
+// span, making long lines the performance choice and short lines the
+// low-power choice.
+constexpr std::array<WireParams, kWireTypeCount> kWireParams{{
+    {WireType::Direct, 1, 0.18, 180.0},
+    {WireType::Double, 2, 0.42, 260.0},
+    {WireType::Hex, 6, 1.45, 480.0},
+    {WireType::Long, 24, 6.80, 950.0},
+}};
+
+}  // namespace
+
+const WireParams& wire_params(WireType type) {
+    const auto idx = static_cast<int>(type);
+    REFPGA_EXPECTS(idx >= 0 && idx < kWireTypeCount);
+    return kWireParams[static_cast<std::size_t>(idx)];
+}
+
+std::string_view wire_type_name(WireType type) {
+    switch (type) {
+        case WireType::Direct: return "direct";
+        case WireType::Double: return "double";
+        case WireType::Hex: return "hex";
+        case WireType::Long: return "long";
+    }
+    return "?";
+}
+
+std::array<WireType, kWireTypeCount> all_wire_types() {
+    return {WireType::Direct, WireType::Double, WireType::Hex, WireType::Long};
+}
+
+}  // namespace refpga::fabric

@@ -1,0 +1,34 @@
+// Design-rule checks over a netlist.
+//
+// Run before simulation or place & route: catches undriven nets feeding logic,
+// multiply-driven nets, out-of-range LUT masks, and combinational loops (which
+// the levelized simulator cannot evaluate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::netlist {
+
+struct DrcIssue {
+    enum class Kind {
+        UndrivenNet,        ///< net has sinks but no driver
+        DanglingInput,      ///< cell input pin references an invalid net
+        CombinationalLoop,  ///< cycle through only combinational cells
+        ClockUsedAsData,    ///< clock net also feeds a data input
+    };
+    Kind kind;
+    std::string detail;
+};
+
+[[nodiscard]] const char* drc_issue_name(DrcIssue::Kind kind);
+
+/// All issues found; empty means clean.
+[[nodiscard]] std::vector<DrcIssue> run_drc(const Netlist& nl);
+
+/// Throws ContractViolation listing the first issue if the netlist is unclean.
+void require_clean(const Netlist& nl);
+
+}  // namespace refpga::netlist

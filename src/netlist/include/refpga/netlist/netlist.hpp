@@ -1,0 +1,167 @@
+// Technology-mapped netlist for the Spartan-3 fabric model.
+//
+// Cells are the primitives the fabric offers (4-input LUTs, flip-flops,
+// 18-kbit BRAMs, MULT18 multipliers, pads, constants); nets connect exactly
+// one driver pin to any number of sink pins. The netlist is the common
+// exchange format between the generators (app), the simulator (sim), the
+// placer/router (par) and the power estimator (power).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/strong_id.hpp"
+
+namespace refpga::netlist {
+
+struct CellIdTag {};
+struct NetIdTag {};
+struct PartitionIdTag {};
+using CellId = StrongId<CellIdTag>;
+using NetId = StrongId<NetIdTag>;
+using PartitionId = StrongId<PartitionIdTag>;
+
+enum class CellKind : std::uint8_t {
+    Lut,     ///< 1..4-input LUT with 16-bit truth table
+    Ff,      ///< D flip-flop with optional clock enable
+    Bram,    ///< 18-kbit block RAM, single synchronous read/write port
+    Mult18,  ///< combinational 18x18 signed multiplier
+    Inpad,   ///< top-level input (drives one net)
+    Outpad,  ///< top-level output (observes one net)
+    Gnd,     ///< constant 0 driver
+    Vcc,     ///< constant 1 driver
+};
+
+[[nodiscard]] const char* cell_kind_name(CellKind kind);
+
+/// Reference to one pin of a cell. For sinks `pin` indexes the cell's input
+/// list; for drivers it indexes the cell's output list.
+struct PinRef {
+    CellId cell;
+    std::uint16_t pin = 0;
+
+    friend constexpr bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// Block-RAM configuration and initial contents.
+struct BramConfig {
+    int addr_bits = 10;
+    int data_bits = 18;
+    bool writable = false;
+    std::vector<std::uint32_t> init;  ///< word-per-address initial contents
+
+    [[nodiscard]] std::size_t depth() const { return std::size_t{1} << addr_bits; }
+};
+
+struct Cell {
+    CellKind kind = CellKind::Lut;
+    std::string name;
+    PartitionId partition;          ///< which floorplan partition the cell belongs to
+    std::uint16_t lut_mask = 0;     ///< truth table, LUT cells only
+    std::vector<NetId> inputs;      ///< data inputs (FF: [D] or [D, CE])
+    std::vector<NetId> outputs;     ///< driven nets
+    NetId clock;                    ///< FF/BRAM clock net (invalid for others)
+    std::uint32_t bram_index = 0;   ///< index into Netlist bram configs, BRAM only
+
+    [[nodiscard]] bool sequential() const {
+        return kind == CellKind::Ff || kind == CellKind::Bram;
+    }
+};
+
+struct Net {
+    std::string name;
+    PinRef driver;                ///< invalid cell id until a driver connects
+    std::vector<PinRef> sinks;
+    bool is_clock = false;        ///< marked when any FF/BRAM uses it as clock
+
+    [[nodiscard]] bool driven() const { return driver.cell.valid(); }
+    [[nodiscard]] std::size_t fanout() const { return sinks.size(); }
+};
+
+enum class PortDir : std::uint8_t { Input, Output };
+
+/// Top-level port: a named bus of pad cells.
+struct Port {
+    std::string name;
+    PortDir dir = PortDir::Input;
+    std::vector<CellId> pads;  ///< one pad cell per bit, LSB first
+    std::vector<NetId> nets;   ///< the nets at the fabric side of the pads
+};
+
+class Netlist {
+public:
+    Netlist();
+
+    // --- construction -------------------------------------------------------
+
+    NetId add_net(std::string name);
+
+    /// LUT with `inputs.size()` inputs (1..4). Bit i of `mask` is the output
+    /// for input vector i (inputs[0] = LSB of the index). Returns output net.
+    NetId add_lut(std::uint16_t mask, std::span<const NetId> inputs, std::string name);
+
+    /// D flip-flop. `ce` may be invalid (always enabled). Returns Q net.
+    NetId add_ff(NetId d, NetId clock, NetId ce, std::string name);
+
+    /// Synchronous BRAM port: reads cfg.data_bits at `addr` every clock; when
+    /// writable and `we`=1, writes `wdata` first. Returns the read-data nets.
+    std::vector<NetId> add_bram(const BramConfig& cfg, std::span<const NetId> addr,
+                                NetId clock, NetId we, std::span<const NetId> wdata,
+                                std::string name);
+
+    /// 18x18 signed multiplier; a/b are sign-extended to 18 bits. Returns 36
+    /// product nets.
+    std::vector<NetId> add_mult18(std::span<const NetId> a, std::span<const NetId> b,
+                                  std::string name);
+
+    NetId add_gnd();
+    NetId add_vcc();
+
+    std::vector<NetId> add_input_port(const std::string& name, int width);
+    void add_output_port(const std::string& name, std::span<const NetId> bits);
+
+    PartitionId add_partition(std::string name);
+    void set_current_partition(PartitionId p);
+    [[nodiscard]] PartitionId current_partition() const { return current_partition_; }
+
+    // --- access --------------------------------------------------------------
+
+    [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+    [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+
+    [[nodiscard]] const Cell& cell(CellId id) const;
+    [[nodiscard]] Cell& cell(CellId id);
+    [[nodiscard]] const Net& net(NetId id) const;
+    [[nodiscard]] Net& net(NetId id);
+
+    [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+    [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+    [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+    [[nodiscard]] const Port* find_port(const std::string& name) const;
+
+    [[nodiscard]] const std::vector<std::string>& partitions() const { return partition_names_; }
+    [[nodiscard]] const BramConfig& bram_config(const Cell& cell) const;
+    [[nodiscard]] BramConfig& bram_config(const Cell& cell);
+
+    /// All nets used as clocks by at least one sequential cell.
+    [[nodiscard]] std::vector<NetId> clock_nets() const;
+
+private:
+    CellId new_cell(Cell cell);
+    void connect_input(CellId cell, std::uint16_t pin, NetId net);
+    NetId new_output(CellId cell, std::uint16_t pin, std::string name);
+
+    std::vector<Cell> cells_;
+    std::vector<Net> nets_;
+    std::vector<Port> ports_;
+    std::vector<BramConfig> bram_configs_;
+    std::vector<std::string> partition_names_;
+    PartitionId current_partition_;
+    NetId gnd_net_;
+    NetId vcc_net_;
+};
+
+}  // namespace refpga::netlist

@@ -1,0 +1,33 @@
+// Per-partition resource statistics (the raw material for Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::netlist {
+
+struct PartitionStats {
+    std::string name;
+    std::size_t luts = 0;
+    std::size_t ffs = 0;
+    std::size_t brams = 0;
+    std::size_t mults = 0;
+    std::size_t pads = 0;
+
+    /// Slices needed assuming 2 LUTs + 2 FFs per slice with LUT/FF pairing.
+    [[nodiscard]] std::size_t slices() const {
+        const std::size_t lut_slices = (luts + 1) / 2;
+        const std::size_t ff_slices = (ffs + 1) / 2;
+        return lut_slices > ff_slices ? lut_slices : ff_slices;
+    }
+};
+
+/// One entry per partition, in partition order.
+[[nodiscard]] std::vector<PartitionStats> partition_stats(const Netlist& nl);
+
+/// Whole-netlist totals.
+[[nodiscard]] PartitionStats total_stats(const Netlist& nl);
+
+}  // namespace refpga::netlist

@@ -1,0 +1,244 @@
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::netlist {
+
+const char* cell_kind_name(CellKind kind) {
+    switch (kind) {
+        case CellKind::Lut: return "LUT";
+        case CellKind::Ff: return "FF";
+        case CellKind::Bram: return "BRAM";
+        case CellKind::Mult18: return "MULT18";
+        case CellKind::Inpad: return "INPAD";
+        case CellKind::Outpad: return "OUTPAD";
+        case CellKind::Gnd: return "GND";
+        case CellKind::Vcc: return "VCC";
+    }
+    return "?";
+}
+
+Netlist::Netlist() {
+    partition_names_.push_back("static");
+    current_partition_ = PartitionId{0};
+}
+
+NetId Netlist::add_net(std::string name) {
+    nets_.push_back(Net{std::move(name), PinRef{}, {}, false});
+    return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+CellId Netlist::new_cell(Cell cell) {
+    cell.partition = current_partition_;
+    cells_.push_back(std::move(cell));
+    return CellId{static_cast<std::uint32_t>(cells_.size() - 1)};
+}
+
+void Netlist::connect_input(CellId cell_id, std::uint16_t pin, NetId net_id) {
+    REFPGA_EXPECTS(net_id.valid());
+    Cell& c = cell(cell_id);
+    if (c.inputs.size() <= pin) c.inputs.resize(pin + 1);
+    c.inputs[pin] = net_id;
+    net(net_id).sinks.push_back(PinRef{cell_id, pin});
+}
+
+NetId Netlist::new_output(CellId cell_id, std::uint16_t pin, std::string name) {
+    const NetId out = add_net(std::move(name));
+    Cell& c = cell(cell_id);
+    if (c.outputs.size() <= pin) c.outputs.resize(pin + 1);
+    c.outputs[pin] = out;
+    net(out).driver = PinRef{cell_id, pin};
+    return out;
+}
+
+NetId Netlist::add_lut(std::uint16_t mask, std::span<const NetId> inputs, std::string name) {
+    REFPGA_EXPECTS(!inputs.empty() && inputs.size() <= 4);
+    Cell c;
+    c.kind = CellKind::Lut;
+    c.name = name;
+    c.lut_mask = mask;
+    const CellId id = new_cell(std::move(c));
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        connect_input(id, static_cast<std::uint16_t>(i), inputs[i]);
+    return new_output(id, 0, name + ".o");
+}
+
+NetId Netlist::add_ff(NetId d, NetId clock, NetId ce, std::string name) {
+    REFPGA_EXPECTS(d.valid() && clock.valid());
+    Cell c;
+    c.kind = CellKind::Ff;
+    c.name = name;
+    c.clock = clock;
+    const CellId id = new_cell(std::move(c));
+    connect_input(id, 0, d);
+    if (ce.valid()) connect_input(id, 1, ce);
+    net(clock).is_clock = true;
+    return new_output(id, 0, name + ".q");
+}
+
+std::vector<NetId> Netlist::add_bram(const BramConfig& cfg, std::span<const NetId> addr,
+                                     NetId clock, NetId we, std::span<const NetId> wdata,
+                                     std::string name) {
+    REFPGA_EXPECTS(cfg.addr_bits >= 1 && cfg.addr_bits <= 14);
+    REFPGA_EXPECTS(cfg.data_bits >= 1 && cfg.data_bits <= 32);
+    REFPGA_EXPECTS(addr.size() == static_cast<std::size_t>(cfg.addr_bits));
+    REFPGA_EXPECTS(!cfg.writable || wdata.size() == static_cast<std::size_t>(cfg.data_bits));
+    REFPGA_EXPECTS(clock.valid());
+
+    Cell c;
+    c.kind = CellKind::Bram;
+    c.name = name;
+    c.clock = clock;
+    c.bram_index = static_cast<std::uint32_t>(bram_configs_.size());
+    bram_configs_.push_back(cfg);
+    bram_configs_.back().init.resize(bram_configs_.back().depth(), 0);
+
+    const CellId id = new_cell(std::move(c));
+    // Input pin layout: [addr..., we, wdata...]
+    std::uint16_t pin = 0;
+    for (const NetId a : addr) connect_input(id, pin++, a);
+    if (cfg.writable) {
+        REFPGA_EXPECTS(we.valid());
+        connect_input(id, pin++, we);
+        for (const NetId w : wdata) connect_input(id, pin++, w);
+    }
+    net(clock).is_clock = true;
+
+    std::vector<NetId> out;
+    out.reserve(static_cast<std::size_t>(cfg.data_bits));
+    for (int i = 0; i < cfg.data_bits; ++i)
+        out.push_back(new_output(id, static_cast<std::uint16_t>(i),
+                                 name + ".do" + std::to_string(i)));
+    return out;
+}
+
+std::vector<NetId> Netlist::add_mult18(std::span<const NetId> a, std::span<const NetId> b,
+                                       std::string name) {
+    REFPGA_EXPECTS(!a.empty() && a.size() <= 18);
+    REFPGA_EXPECTS(!b.empty() && b.size() <= 18);
+    Cell c;
+    c.kind = CellKind::Mult18;
+    c.name = name;
+    const CellId id = new_cell(std::move(c));
+    std::uint16_t pin = 0;
+    for (const NetId n : a) connect_input(id, pin++, n);
+    for (const NetId n : b) connect_input(id, pin++, n);
+    // Record the operand split so evaluators can reconstruct it.
+    cell(id).lut_mask = static_cast<std::uint16_t>(a.size());
+
+    std::vector<NetId> out;
+    out.reserve(36);
+    for (int i = 0; i < 36; ++i)
+        out.push_back(new_output(id, static_cast<std::uint16_t>(i),
+                                 name + ".p" + std::to_string(i)));
+    return out;
+}
+
+NetId Netlist::add_gnd() {
+    if (gnd_net_.valid()) return gnd_net_;
+    Cell c;
+    c.kind = CellKind::Gnd;
+    c.name = "gnd";
+    const CellId id = new_cell(std::move(c));
+    gnd_net_ = new_output(id, 0, "gnd");
+    return gnd_net_;
+}
+
+NetId Netlist::add_vcc() {
+    if (vcc_net_.valid()) return vcc_net_;
+    Cell c;
+    c.kind = CellKind::Vcc;
+    c.name = "vcc";
+    const CellId id = new_cell(std::move(c));
+    vcc_net_ = new_output(id, 0, "vcc");
+    return vcc_net_;
+}
+
+std::vector<NetId> Netlist::add_input_port(const std::string& name, int width) {
+    REFPGA_EXPECTS(width >= 1);
+    REFPGA_EXPECTS(find_port(name) == nullptr);
+    Port port;
+    port.name = name;
+    port.dir = PortDir::Input;
+    for (int i = 0; i < width; ++i) {
+        Cell c;
+        c.kind = CellKind::Inpad;
+        c.name = name + "[" + std::to_string(i) + "]";
+        const CellId id = new_cell(std::move(c));
+        port.pads.push_back(id);
+        port.nets.push_back(new_output(id, 0, name + "_" + std::to_string(i)));
+    }
+    ports_.push_back(std::move(port));
+    return ports_.back().nets;
+}
+
+void Netlist::add_output_port(const std::string& name, std::span<const NetId> bits) {
+    REFPGA_EXPECTS(!bits.empty());
+    REFPGA_EXPECTS(find_port(name) == nullptr);
+    Port port;
+    port.name = name;
+    port.dir = PortDir::Output;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        Cell c;
+        c.kind = CellKind::Outpad;
+        c.name = name + "[" + std::to_string(i) + "]";
+        const CellId id = new_cell(std::move(c));
+        connect_input(id, 0, bits[i]);
+        port.pads.push_back(id);
+        port.nets.push_back(bits[i]);
+    }
+    ports_.push_back(std::move(port));
+}
+
+PartitionId Netlist::add_partition(std::string name) {
+    partition_names_.push_back(std::move(name));
+    return PartitionId{static_cast<std::uint32_t>(partition_names_.size() - 1)};
+}
+
+void Netlist::set_current_partition(PartitionId p) {
+    REFPGA_EXPECTS(p.value() < partition_names_.size());
+    current_partition_ = p;
+}
+
+const Cell& Netlist::cell(CellId id) const {
+    REFPGA_EXPECTS(id.value() < cells_.size());
+    return cells_[id.value()];
+}
+
+Cell& Netlist::cell(CellId id) {
+    REFPGA_EXPECTS(id.value() < cells_.size());
+    return cells_[id.value()];
+}
+
+const Net& Netlist::net(NetId id) const {
+    REFPGA_EXPECTS(id.value() < nets_.size());
+    return nets_[id.value()];
+}
+
+Net& Netlist::net(NetId id) {
+    REFPGA_EXPECTS(id.value() < nets_.size());
+    return nets_[id.value()];
+}
+
+const Port* Netlist::find_port(const std::string& name) const {
+    for (const Port& p : ports_)
+        if (p.name == name) return &p;
+    return nullptr;
+}
+
+const BramConfig& Netlist::bram_config(const Cell& cell) const {
+    REFPGA_EXPECTS(cell.kind == CellKind::Bram);
+    return bram_configs_[cell.bram_index];
+}
+
+BramConfig& Netlist::bram_config(const Cell& cell) {
+    REFPGA_EXPECTS(cell.kind == CellKind::Bram);
+    return bram_configs_[cell.bram_index];
+}
+
+std::vector<NetId> Netlist::clock_nets() const {
+    std::vector<NetId> clocks;
+    for (std::size_t i = 0; i < nets_.size(); ++i)
+        if (nets_[i].is_clock) clocks.push_back(NetId{static_cast<std::uint32_t>(i)});
+    return clocks;
+}
+
+}  // namespace refpga::netlist

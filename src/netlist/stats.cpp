@@ -1,0 +1,36 @@
+#include "refpga/netlist/stats.hpp"
+
+namespace refpga::netlist {
+
+namespace {
+void accumulate(PartitionStats& s, const Cell& c) {
+    switch (c.kind) {
+        case CellKind::Lut: ++s.luts; break;
+        case CellKind::Ff: ++s.ffs; break;
+        case CellKind::Bram: ++s.brams; break;
+        case CellKind::Mult18: ++s.mults; break;
+        case CellKind::Inpad:
+        case CellKind::Outpad: ++s.pads; break;
+        case CellKind::Gnd:
+        case CellKind::Vcc: break;
+    }
+}
+}  // namespace
+
+std::vector<PartitionStats> partition_stats(const Netlist& nl) {
+    std::vector<PartitionStats> stats(nl.partitions().size());
+    for (std::size_t i = 0; i < stats.size(); ++i) stats[i].name = nl.partitions()[i];
+    for (const Cell& c : nl.cells()) {
+        if (c.partition.value() < stats.size()) accumulate(stats[c.partition.value()], c);
+    }
+    return stats;
+}
+
+PartitionStats total_stats(const Netlist& nl) {
+    PartitionStats total;
+    total.name = "total";
+    for (const Cell& c : nl.cells()) accumulate(total, c);
+    return total;
+}
+
+}  // namespace refpga::netlist

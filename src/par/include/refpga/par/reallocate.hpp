@@ -1,0 +1,69 @@
+// Power-driven logic reallocation (the paper's §4.3 methodology).
+//
+// For the highest-power nets (activity x routed capacitance), try to move the
+// net's driver/sink slices closer to the net's centroid and re-route the
+// affected nets on low-capacitance wires. A move is committed only when
+//   (1) the target net's power decreases,
+//   (2) total dynamic power does not increase (the paper re-verified this
+//       after every reallocation), and
+//   (3) the critical path stays within the allowed slack.
+// The paper performed this by hand in FPGA Editor and argued it "must be
+// integrated in FPGA tools"; this is that integration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/par/router.hpp"
+#include "refpga/par/timing.hpp"
+#include "refpga/sim/activity.hpp"
+
+namespace refpga::par {
+
+struct ReallocateOptions {
+    std::size_t net_count = 10;     ///< how many hot nets to optimize
+    double vdd = 1.2;               ///< core voltage
+    double timing_slack = 1.10;     ///< allowed critical-path growth factor
+    int radius = 4;                 ///< move search radius around the centroid
+    bool capture_routes = false;    ///< record ASCII route views (Figure 6)
+    /// Nets with more sinks than this are skipped: their power is dominated
+    /// by irreducible pin capacitance, so reallocation cannot help (the paper
+    /// likewise picked moderate-fanout nets such as multiplier inputs).
+    std::size_t max_fanout = 16;
+    CellDelays delays;
+};
+
+/// Per-net outcome, one entry per optimized net (Table 2 rows).
+struct NetPowerChange {
+    netlist::NetId net;
+    std::string name;
+    double before_uw = 0.0;
+    double after_uw = 0.0;
+    bool moved_logic = false;  ///< a slice move was committed (vs re-route only)
+    std::string route_before;  ///< when capture_routes
+    std::string route_after;
+
+    [[nodiscard]] double reduction_pct() const {
+        return before_uw > 0.0 ? 100.0 * (before_uw - after_uw) / before_uw : 0.0;
+    }
+};
+
+struct ReallocateReport {
+    std::vector<NetPowerChange> nets;
+    double total_before_uw = 0.0;  ///< all-net dynamic power before
+    double total_after_uw = 0.0;
+    double critical_before_ps = 0.0;
+    double critical_after_ps = 0.0;
+};
+
+/// Optimizes `routed` (and the underlying placement) in place.
+[[nodiscard]] ReallocateReport optimize_net_power(Placement& placement,
+                                                  RoutedDesign& routed,
+                                                  const sim::ActivityMap& activity,
+                                                  const ReallocateOptions& options = {});
+
+/// Dynamic power of one routed net at the given activity, in microwatts.
+[[nodiscard]] double net_power_uw(const RoutedDesign& routed, netlist::NetId net,
+                                  const sim::ActivityMap& activity, double vdd);
+
+}  // namespace refpga::par

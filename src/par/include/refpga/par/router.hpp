@@ -1,0 +1,114 @@
+// Routing over the wire-type channel model.
+//
+// Each driver->sink connection is decomposed into interconnect segments
+// (direct/double/hex/long) along an L-shaped path. The cost mode picks the
+// trade-off: Performance reaches far per hop (long/hex lines, fewer switch
+// delays, more capacitance); LowPower composes short segments (more hops,
+// less switched capacitance). Channel occupancy per tile and wire type is
+// tracked so congestion forces fallbacks, and §4.3-style re-routing of a
+// single net is supported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/fabric/wire.hpp"
+#include "refpga/par/placement.hpp"
+
+namespace refpga::par {
+
+enum class RouteMode { Performance, LowPower };
+
+struct RouteSegment {
+    fabric::WireType type;
+    int x = 0;            ///< start tile
+    int y = 0;
+    bool horizontal = true;
+    int step = 1;         ///< +1 or -1 direction along the axis
+};
+
+/// Route of one driver->sink connection.
+struct SinkRoute {
+    netlist::PinRef sink;
+    std::vector<RouteSegment> segments;
+    double capacitance_pf = 0.0;
+    double delay_ps = 0.0;
+};
+
+struct NetRoute {
+    bool routed = false;
+    std::vector<SinkRoute> sinks;
+
+    [[nodiscard]] double capacitance_pf() const {
+        double c = 0.0;
+        for (const auto& s : sinks) c += s.capacitance_pf;
+        return c;
+    }
+    [[nodiscard]] double max_delay_ps() const {
+        double d = 0.0;
+        for (const auto& s : sinks) d = d > s.delay_ps ? d : s.delay_ps;
+        return d;
+    }
+};
+
+/// Per-tile, per-wire-type channel capacities (both axes pooled).
+struct ChannelCapacity {
+    int direct = 8;
+    int double_ = 8;
+    int hex = 4;
+    int long_ = 1;
+
+    [[nodiscard]] int of(fabric::WireType t) const;
+};
+
+class RoutedDesign {
+public:
+    RoutedDesign(const Placement& placement, ChannelCapacity capacity);
+
+    [[nodiscard]] const Placement& placement() const { return *placement_; }
+    [[nodiscard]] const NetRoute& route(netlist::NetId net) const;
+    [[nodiscard]] double total_capacitance_pf() const;
+    [[nodiscard]] long overflow_count() const { return overflow_; }
+
+    /// Routes every non-dedicated net. Previously routed nets are ripped up.
+    void route_all(RouteMode mode);
+
+    /// Rips up and re-routes one net (used by the power reallocator after
+    /// moving its logic).
+    void reroute_net(netlist::NetId net, RouteMode mode);
+
+    /// Pin connection delay added on top of segment delays, per connection.
+    static constexpr double kPinDelayPs = 120.0;
+    /// Driver output + sink input pin capacitance per connection (pF).
+    static constexpr double kPinCapacitancePf = 0.35;
+
+private:
+    void rip_up(netlist::NetId net);
+    void route_net(netlist::NetId net, RouteMode mode);
+    SinkRoute route_connection(const fabric::SliceCoord& from,
+                               const fabric::SliceCoord& to, netlist::PinRef sink,
+                               RouteMode mode);
+    void route_axis(std::vector<RouteSegment>& segments, int fixed, int begin,
+                    int end, bool horizontal, RouteMode mode);
+    [[nodiscard]] bool segment_fits(const RouteSegment& seg) const;
+    void occupy(const RouteSegment& seg, int delta);
+    [[nodiscard]] int& usage_at(int x, int y, fabric::WireType t);
+    [[nodiscard]] int usage_at(int x, int y, fabric::WireType t) const;
+
+    const Placement* placement_;
+    ChannelCapacity capacity_;
+    std::vector<NetRoute> routes_;      ///< indexed by net id
+    std::vector<int> usage_;            ///< [y][x][type]
+    long overflow_ = 0;
+};
+
+/// ASCII rendering of one net's route on the device grid (Figure 6 views).
+[[nodiscard]] std::string render_route(const RoutedDesign& design, netlist::NetId net);
+
+/// Dynamic power of a switched capacitance: P = 1/2 * C * Vdd^2 * f_toggle,
+/// in microwatts (C in pF, f in transitions per second).
+[[nodiscard]] inline double switch_power_uw(double c_pf, double toggle_hz, double vdd) {
+    return 0.5 * c_pf * 1e-12 * vdd * vdd * toggle_hz * 1e6;
+}
+
+}  // namespace refpga::par

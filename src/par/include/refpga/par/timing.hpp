@@ -1,0 +1,39 @@
+// Static timing analysis over a routed design.
+//
+// Arrival times propagate through the combinational cone from sequential
+// outputs / input pads to sequential inputs / output pads using routed net
+// delays plus cell delays. Fmax follows from the critical path. The power
+// reallocator uses this to reject moves that would break the clock target
+// ("Naturally the requirements on performance must be considered", §4.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/par/router.hpp"
+
+namespace refpga::par {
+
+struct TimingReport {
+    double critical_path_ps = 0.0;
+    /// Cells on the critical path, launch to capture.
+    std::vector<netlist::CellId> critical_cells;
+
+    [[nodiscard]] double fmax_mhz() const {
+        return critical_path_ps > 0.0 ? 1e6 / critical_path_ps : 0.0;
+    }
+};
+
+/// Cell propagation delays (Spartan-3 -4 speed grade ballpark).
+struct CellDelays {
+    double lut_ps = 610.0;
+    double mult_ps = 4800.0;
+    double ff_clk_to_q_ps = 580.0;
+    double bram_clk_to_q_ps = 2100.0;
+    double ff_setup_ps = 520.0;
+};
+
+[[nodiscard]] TimingReport analyze_timing(const RoutedDesign& routed,
+                                          const CellDelays& delays = {});
+
+}  // namespace refpga::par

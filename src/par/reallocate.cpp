@@ -1,0 +1,193 @@
+#include "refpga/par/reallocate.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace refpga::par {
+
+using fabric::Region;
+using fabric::SliceCoord;
+using netlist::CellId;
+using netlist::NetId;
+
+double net_power_uw(const RoutedDesign& routed, NetId net,
+                    const sim::ActivityMap& activity, double vdd) {
+    return switch_power_uw(routed.route(net).capacitance_pf(),
+                           activity.rate_hz(net), vdd);
+}
+
+namespace {
+
+double total_power_uw(const RoutedDesign& routed, const sim::ActivityMap& activity,
+                      double vdd) {
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < routed.placement().nl().net_count(); ++i)
+        total += net_power_uw(routed, NetId{i}, activity, vdd);
+    return total;
+}
+
+/// Slices participating in a net (driver and sinks that live in slices).
+std::vector<SliceId> net_slices(const Placement& placement, NetId net) {
+    const auto& nl = placement.nl();
+    const auto& n = nl.net(net);
+    std::set<SliceId> slices;
+    auto add = [&](CellId cell) {
+        const SliceId s = placement.design().slice_of(cell);
+        if (s.valid()) slices.insert(s);
+    };
+    if (n.driven()) add(n.driver.cell);
+    for (const auto& sink : n.sinks) add(sink.cell);
+    return {slices.begin(), slices.end()};
+}
+
+/// All nets incident to a slice's cells (these must be re-routed on a move).
+std::vector<NetId> incident_nets(const Placement& placement, SliceId slice) {
+    const auto& nl = placement.nl();
+    const auto& packed = placement.design().slices()[slice.value()];
+    std::set<NetId> nets;
+    auto add_cell = [&](CellId cell) {
+        const auto& c = nl.cell(cell);
+        for (const NetId in : c.inputs)
+            if (in.valid() && !placement.dedicated_net(in)) nets.insert(in);
+        for (const NetId out : c.outputs)
+            if (out.valid() && !placement.dedicated_net(out)) nets.insert(out);
+    };
+    for (const CellId cell : packed.luts) add_cell(cell);
+    for (const CellId cell : packed.ffs) add_cell(cell);
+    return {nets.begin(), nets.end()};
+}
+
+SliceCoord net_centroid(const Placement& placement, NetId net) {
+    const auto& n = placement.nl().net(net);
+    long sx = 0;
+    long sy = 0;
+    long count = 0;
+    auto add = [&](CellId cell) {
+        const SliceCoord pos = placement.cell_pos(cell);
+        sx += pos.x;
+        sy += pos.y;
+        ++count;
+    };
+    if (n.driven()) add(n.driver.cell);
+    for (const auto& sink : n.sinks) add(sink.cell);
+    if (count == 0) return SliceCoord{0, 0, 0};
+    return SliceCoord{static_cast<int>(sx / count), static_cast<int>(sy / count), 0};
+}
+
+}  // namespace
+
+ReallocateReport optimize_net_power(Placement& placement, RoutedDesign& routed,
+                                    const sim::ActivityMap& activity,
+                                    const ReallocateOptions& options) {
+    const auto& nl = placement.nl();
+    ReallocateReport report;
+    report.total_before_uw = total_power_uw(routed, activity, options.vdd);
+    report.critical_before_ps = analyze_timing(routed, options.delays).critical_path_ps;
+    const double timing_limit =
+        report.critical_before_ps * options.timing_slack;
+
+    // Hot nets ranked by *reducible* power: the share switched on routing
+    // wires (pin capacitance is fixed by connectivity). Very-high-fanout nets
+    // are excluded -- nothing the placer can do about hundreds of loads.
+    auto wire_power = [&](NetId net) {
+        const auto& r = routed.route(net);
+        const double pin_c =
+            RoutedDesign::kPinCapacitancePf * static_cast<double>(r.sinks.size());
+        const double wire_c = std::max(r.capacitance_pf() - pin_c, 0.0);
+        return switch_power_uw(wire_c, activity.rate_hz(net), options.vdd);
+    };
+    std::vector<NetId> order;
+    for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
+        const NetId net{i};
+        if (nl.net(net).fanout() > options.max_fanout) continue;
+        order.push_back(net);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](NetId a, NetId b) { return wire_power(a) > wire_power(b); });
+    if (order.size() > options.net_count) order.resize(options.net_count);
+
+    for (const NetId net : order) {
+        NetPowerChange change;
+        change.net = net;
+        change.name = nl.net(net).name;
+        change.before_uw = net_power_uw(routed, net, activity, options.vdd);
+        if (options.capture_routes) change.route_before = render_route(routed, net);
+
+        // Step 1: re-route the net itself on low-capacitance wires.
+        routed.reroute_net(net, RouteMode::LowPower);
+
+        // Step 2: try to pull each participating slice toward the centroid.
+        const SliceCoord centroid = net_centroid(placement, net);
+        for (const SliceId slice : net_slices(placement, net)) {
+            const Region region =
+                placement.region_of(placement.design().slices()[slice.value()].partition);
+            const auto affected = incident_nets(placement, slice);
+
+            double best_gain = 0.0;
+            SliceCoord best_target{-1, -1, -1};
+            const SliceCoord original = placement.slice_pos(slice);
+
+            double affected_before = 0.0;
+            for (const NetId a : affected)
+                affected_before += net_power_uw(routed, a, activity, options.vdd);
+
+            for (int dy = -options.radius; dy <= options.radius; ++dy) {
+                for (int dx = -options.radius; dx <= options.radius; ++dx) {
+                    for (int idx = 0; idx < fabric::Device::kSlicesPerClb; ++idx) {
+                        const SliceCoord target{centroid.x + dx, centroid.y + dy, idx};
+                        if (!region.contains(target.x, target.y)) continue;
+                        if (target == original) continue;
+                        // Only move into free sites; swapping would perturb an
+                        // unrelated net's power (the paper moved logic into
+                        // free slices too).
+                        if (placement.slice_at(target).valid()) continue;
+
+                        placement.swap_sites(original, target);
+                        for (const NetId a : affected)
+                            routed.reroute_net(a, RouteMode::LowPower);
+
+                        double affected_after = 0.0;
+                        for (const NetId a : affected)
+                            affected_after +=
+                                net_power_uw(routed, a, activity, options.vdd);
+                        const double gain = affected_before - affected_after;
+                        if (gain > best_gain) {
+                            best_gain = gain;
+                            best_target = target;
+                        }
+                        // Undo for the next candidate.
+                        placement.swap_sites(target, original);
+                        for (const NetId a : affected)
+                            routed.reroute_net(a, RouteMode::LowPower);
+                    }
+                }
+            }
+
+            if (best_target.index >= 0) {
+                placement.swap_sites(original, best_target);
+                for (const NetId a : affected)
+                    routed.reroute_net(a, RouteMode::LowPower);
+                // Timing gate: undo the move if the clock target breaks.
+                const double crit =
+                    analyze_timing(routed, options.delays).critical_path_ps;
+                if (crit > timing_limit) {
+                    placement.swap_sites(best_target, original);
+                    for (const NetId a : affected)
+                        routed.reroute_net(a, RouteMode::LowPower);
+                } else {
+                    change.moved_logic = true;
+                }
+            }
+        }
+
+        change.after_uw = net_power_uw(routed, net, activity, options.vdd);
+        if (options.capture_routes) change.route_after = render_route(routed, net);
+        report.nets.push_back(std::move(change));
+    }
+
+    report.total_after_uw = total_power_uw(routed, activity, options.vdd);
+    report.critical_after_ps = analyze_timing(routed, options.delays).critical_path_ps;
+    return report;
+}
+
+}  // namespace refpga::par

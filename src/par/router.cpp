@@ -1,0 +1,259 @@
+#include "refpga/par/router.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::par {
+
+using fabric::SliceCoord;
+using fabric::WireType;
+using fabric::wire_params;
+using netlist::NetId;
+using netlist::PinRef;
+
+int ChannelCapacity::of(WireType t) const {
+    switch (t) {
+        case WireType::Direct: return direct;
+        case WireType::Double: return double_;
+        case WireType::Hex: return hex;
+        case WireType::Long: return long_;
+    }
+    return 0;
+}
+
+RoutedDesign::RoutedDesign(const Placement& placement, ChannelCapacity capacity)
+    : placement_(&placement), capacity_(capacity) {
+    routes_.resize(placement.nl().net_count());
+    usage_.assign(static_cast<std::size_t>(placement.device().rows()) *
+                      placement.device().cols() * fabric::kWireTypeCount,
+                  0);
+}
+
+const NetRoute& RoutedDesign::route(NetId net) const {
+    REFPGA_EXPECTS(net.value() < routes_.size());
+    return routes_[net.value()];
+}
+
+double RoutedDesign::total_capacitance_pf() const {
+    double c = 0.0;
+    for (const auto& r : routes_) c += r.capacitance_pf();
+    return c;
+}
+
+int& RoutedDesign::usage_at(int x, int y, WireType t) {
+    const auto cols = placement_->device().cols();
+    return usage_[(static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
+                  static_cast<std::size_t>(t)];
+}
+
+int RoutedDesign::usage_at(int x, int y, WireType t) const {
+    const auto cols = placement_->device().cols();
+    return usage_[(static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
+                  static_cast<std::size_t>(t)];
+}
+
+bool RoutedDesign::segment_fits(const RouteSegment& seg) const {
+    const auto& params = wire_params(seg.type);
+    int x = seg.x;
+    int y = seg.y;
+    for (int i = 0; i < params.span; ++i) {
+        if (x < 0 || x >= placement_->device().cols() || y < 0 ||
+            y >= placement_->device().rows())
+            return true;  // clipped at the die edge; remaining tiles are free
+        if (usage_at(x, y, seg.type) >= capacity_.of(seg.type)) return false;
+        (seg.horizontal ? x : y) += seg.step;
+    }
+    return true;
+}
+
+void RoutedDesign::occupy(const RouteSegment& seg, int delta) {
+    const auto& params = wire_params(seg.type);
+    int x = seg.x;
+    int y = seg.y;
+    for (int i = 0; i < params.span; ++i) {
+        if (x < 0 || x >= placement_->device().cols() || y < 0 ||
+            y >= placement_->device().rows())
+            break;
+        usage_at(x, y, seg.type) += delta;
+        (seg.horizontal ? x : y) += seg.step;
+    }
+}
+
+void RoutedDesign::route_axis(std::vector<RouteSegment>& segments, int fixed,
+                              int begin, int end, bool horizontal, RouteMode mode) {
+    int pos = begin;
+    const int step = end >= begin ? 1 : -1;
+    int remaining = std::abs(end - begin);
+
+    // Candidate order by mode: Performance reaches far first; LowPower sticks
+    // to the lowest capacitance-per-tile wires.
+    const std::array<WireType, 4> preference =
+        mode == RouteMode::Performance
+            ? std::array<WireType, 4>{WireType::Long, WireType::Hex,
+                                      WireType::Double, WireType::Direct}
+            : std::array<WireType, 4>{WireType::Direct, WireType::Double,
+                                      WireType::Hex, WireType::Long};
+
+    while (remaining > 0) {
+        RouteSegment chosen;
+        bool found = false;
+        for (const WireType t : preference) {
+            const int span = wire_params(t).span;
+            if (span > remaining) continue;
+            RouteSegment seg{t, horizontal ? pos : fixed, horizontal ? fixed : pos,
+                             horizontal, step};
+            if (!segment_fits(seg)) continue;
+            chosen = seg;
+            found = true;
+            break;
+        }
+        if (!found) {
+            // All fitting channels are full: take the mode's smallest wire
+            // anyway and record the overflow (Pathfinder would negotiate;
+            // a counted overflow keeps the model honest about congestion).
+            const WireType t = WireType::Direct;
+            chosen = RouteSegment{t, horizontal ? pos : fixed,
+                                  horizontal ? fixed : pos, horizontal, step};
+            ++overflow_;
+        }
+        occupy(chosen, +1);
+        segments.push_back(chosen);
+        const int advanced = std::min(wire_params(chosen.type).span, remaining);
+        pos += advanced * step;
+        remaining -= advanced;
+    }
+}
+
+SinkRoute RoutedDesign::route_connection(const SliceCoord& from, const SliceCoord& to,
+                                         PinRef sink, RouteMode mode) {
+    SinkRoute route;
+    route.sink = sink;
+    // L-shaped: horizontal first, then vertical.
+    route_axis(route.segments, from.y, from.x, to.x, true, mode);
+    route_axis(route.segments, to.x, from.y, to.y, false, mode);
+
+    route.delay_ps = kPinDelayPs;
+    route.capacitance_pf = kPinCapacitancePf;
+    for (const auto& seg : route.segments) {
+        const auto& params = wire_params(seg.type);
+        route.capacitance_pf += params.capacitance_pf;
+        route.delay_ps += params.delay_ps;
+    }
+    return route;
+}
+
+void RoutedDesign::rip_up(NetId net) {
+    NetRoute& r = routes_[net.value()];
+    for (const auto& sink : r.sinks)
+        for (const auto& seg : sink.segments) occupy(seg, -1);
+    r.sinks.clear();
+    r.routed = false;
+}
+
+void RoutedDesign::route_net(NetId net, RouteMode mode) {
+    const auto& nl = placement_->nl();
+    const auto& n = nl.net(net);
+    NetRoute& r = routes_[net.value()];
+    r.routed = true;
+    if (placement_->dedicated_net(net) || !n.driven()) return;
+    const SliceCoord from = placement_->cell_pos(n.driver.cell);
+    for (const PinRef& sink : n.sinks) {
+        const SliceCoord to = placement_->cell_pos(sink.cell);
+        r.sinks.push_back(route_connection(from, to, sink, mode));
+    }
+}
+
+void RoutedDesign::route_all(RouteMode mode) {
+    for (std::uint32_t i = 0; i < routes_.size(); ++i)
+        if (routes_[i].routed) rip_up(NetId{i});
+    overflow_ = 0;
+    // Route short nets first so they keep the cheap wires; long nets can
+    // better amortize hex/long segments.
+    std::vector<std::uint32_t> order(routes_.size());
+    for (std::uint32_t i = 0; i < routes_.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return placement_->net_hpwl(NetId{a}) < placement_->net_hpwl(NetId{b});
+    });
+    for (const std::uint32_t i : order) route_net(NetId{i}, mode);
+}
+
+void RoutedDesign::reroute_net(NetId net, RouteMode mode) {
+    REFPGA_EXPECTS(net.value() < routes_.size());
+    rip_up(net);
+    route_net(net, mode);
+}
+
+std::string render_route(const RoutedDesign& design, NetId net) {
+    const auto& placement = design.placement();
+    const auto& nl = placement.nl();
+    const auto& n = nl.net(net);
+    const auto& route = design.route(net);
+
+    // Bounding box with one tile of margin.
+    int min_x = placement.device().cols() - 1;
+    int max_x = 0;
+    int min_y = placement.device().rows() - 1;
+    int max_y = 0;
+    auto extend = [&](int x, int y) {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+    };
+    const SliceCoord from = placement.cell_pos(n.driver.cell);
+    extend(from.x, from.y);
+    for (const auto& sink : route.sinks) {
+        for (const auto& seg : sink.segments) {
+            const int span = fabric::wire_params(seg.type).span;
+            extend(seg.x, seg.y);
+            extend(seg.horizontal ? seg.x + seg.step * span : seg.x,
+                   seg.horizontal ? seg.y : seg.y + seg.step * span);
+        }
+        const SliceCoord to = placement.cell_pos(sink.sink.cell);
+        extend(to.x, to.y);
+    }
+    min_x = std::max(0, min_x - 1);
+    min_y = std::max(0, min_y - 1);
+    max_x = std::min(placement.device().cols() - 1, max_x + 1);
+    max_y = std::min(placement.device().rows() - 1, max_y + 1);
+
+    const int w = max_x - min_x + 1;
+    const int h = max_y - min_y + 1;
+    std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), '.'));
+    auto put = [&](int x, int y, char c) {
+        if (x < min_x || x > max_x || y < min_y || y > max_y) return;
+        char& slot = grid[static_cast<std::size_t>(y - min_y)][static_cast<std::size_t>(x - min_x)];
+        if (slot == '.' || c == 'D' || c == 'S') slot = c;
+    };
+
+    for (const auto& sink : route.sinks) {
+        for (const auto& seg : sink.segments) {
+            const auto& params = fabric::wire_params(seg.type);
+            char mark = '?';
+            switch (seg.type) {
+                case WireType::Direct: mark = '-'; break;
+                case WireType::Double: mark = '='; break;
+                case WireType::Hex: mark = 'h'; break;
+                case WireType::Long: mark = 'L'; break;
+            }
+            int x = seg.x;
+            int y = seg.y;
+            for (int i = 0; i < params.span; ++i) {
+                put(x, y, mark);
+                (seg.horizontal ? x : y) += seg.step;
+            }
+        }
+        const SliceCoord to = placement.cell_pos(sink.sink.cell);
+        put(to.x, to.y, 'S');
+    }
+    put(from.x, from.y, 'D');
+
+    std::ostringstream os;
+    os << "net " << n.name << " (D=driver, S=sink, -=direct, ==double, h=hex, L=long)\n";
+    for (auto it = grid.rbegin(); it != grid.rend(); ++it) os << *it << '\n';
+    return os.str();
+}
+
+}  // namespace refpga::par

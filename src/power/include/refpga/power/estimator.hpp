@@ -1,0 +1,53 @@
+// XPower-style chip power estimation.
+//
+// Total = static (device leakage, a function of the chosen part — the lever
+// the paper pulls by downsizing via reconfiguration) + clock tree + per-net
+// switched capacitance x activity. Per-net numbers use the routed wire
+// capacitances, so the §4.3 reallocation shows up directly in this report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/par/reallocate.hpp"
+#include "refpga/par/router.hpp"
+#include "refpga/sim/activity.hpp"
+
+namespace refpga::power {
+
+struct PowerOptions {
+    double vdd = 1.2;                 ///< Vccint
+    double clock_load_pf_per_ff = 0.40;  ///< clock network load per sequential cell
+    double clock_trunk_pf = 12.0;        ///< global clock spine
+};
+
+struct NetPowerEntry {
+    netlist::NetId net;
+    std::string name;
+    double power_uw = 0.0;
+    double capacitance_pf = 0.0;
+    double toggle_hz = 0.0;
+};
+
+struct PowerReport {
+    double static_mw = 0.0;
+    double clock_mw = 0.0;
+    double logic_mw = 0.0;  ///< routed-net dynamic power
+
+    std::vector<NetPowerEntry> top_nets;
+
+    [[nodiscard]] double dynamic_mw() const { return clock_mw + logic_mw; }
+    [[nodiscard]] double total_mw() const { return static_mw + dynamic_mw(); }
+
+    [[nodiscard]] std::string render() const;
+};
+
+/// Estimates power for a routed design clocked at `clock_hz`.
+/// `top_net_count` controls how many hottest nets are listed in the report.
+[[nodiscard]] PowerReport estimate_power(const par::RoutedDesign& routed,
+                                         const sim::ActivityMap& activity,
+                                         double clock_hz,
+                                         const PowerOptions& options = {},
+                                         std::size_t top_net_count = 10);
+
+}  // namespace refpga::power

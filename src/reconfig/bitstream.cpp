@@ -1,0 +1,34 @@
+#include "refpga/reconfig/bitstream.hpp"
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::reconfig {
+
+Bitstream Bitstream::full(const fabric::Device& dev, std::string name) {
+    Bitstream b;
+    b.module_name = std::move(name);
+    b.x_begin = 0;
+    b.x_end = dev.cols();
+    b.full_device = true;
+    b.bits = dev.full_bits();
+    return b;
+}
+
+Bitstream Bitstream::partial(const fabric::Device& dev, std::string name, int x_begin,
+                             int x_end) {
+    REFPGA_EXPECTS(x_begin >= 0 && x_begin < x_end && x_end <= dev.cols());
+    Bitstream b;
+    b.module_name = std::move(name);
+    b.x_begin = x_begin;
+    b.x_end = x_end;
+    b.full_device = false;
+    b.bits = dev.partial_bits(x_begin, x_end);
+    return b;
+}
+
+Bitstream Bitstream::for_region(const fabric::Device& dev, std::string name,
+                                const fabric::Region& region) {
+    return partial(dev, std::move(name), region.x_begin, region.x_end);
+}
+
+}  // namespace refpga::reconfig

@@ -1,0 +1,24 @@
+#include "refpga/reconfig/config_port.hpp"
+
+namespace refpga::reconfig {
+
+ConfigPortSpec icap_port() {
+    return {"icap", 66e6, 8, 1.0, 20e-6, 60.0};
+}
+
+ConfigPortSpec selectmap_port() {
+    return {"selectmap", 50e6, 8, 1.0, 30e-6, 60.0};
+}
+
+ConfigPortSpec jcap_port() {
+    // JTAG shifts 1 bit/TCK; the TAP state machine and the JCAP controller's
+    // fetch loop leave roughly 55% of TCK cycles carrying payload.
+    return {"jcap", 33e6, 1, 0.55, 150e-6, 45.0};
+}
+
+ConfigPortSpec jcap_accelerated_port() {
+    // [11] describes streamlined TAP sequencing that nearly saturates TCK.
+    return {"jcap-accel", 33e6, 1, 0.90, 100e-6, 45.0};
+}
+
+}  // namespace refpga::reconfig

@@ -1,0 +1,100 @@
+#include "refpga/reconfig/controller.hpp"
+
+#include <algorithm>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::reconfig {
+
+ReconfigController::ReconfigController(const fabric::Device& dev, ConfigPortSpec port,
+                                       FlashSpec flash)
+    : dev_(dev), port_(std::move(port)), flash_(std::move(flash)) {}
+
+void ReconfigController::add_slot(const std::string& name,
+                                  const fabric::Region& region) {
+    REFPGA_EXPECTS(region.x_begin >= 0 && region.x_end <= dev_.cols());
+    for (const Slot& s : slots_) {
+        REFPGA_EXPECTS(s.name != name);
+        const bool overlap =
+            region.x_begin < s.region.x_end && s.region.x_begin < region.x_end;
+        REFPGA_EXPECTS(!overlap && "slot column ranges must not overlap");
+    }
+    slots_.push_back(Slot{name, region, {}});
+}
+
+void ReconfigController::register_module(const std::string& slot,
+                                         const std::string& module) {
+    (void)find_slot(slot);  // validates existence
+    auto& mods = slot_modules_[slot];
+    REFPGA_EXPECTS(std::find(mods.begin(), mods.end(), module) == mods.end());
+    mods.push_back(module);
+}
+
+Slot& ReconfigController::find_slot(const std::string& name) {
+    for (Slot& s : slots_)
+        if (s.name == name) return s;
+    throw ContractViolation("unknown slot: " + name);
+}
+
+const Slot& ReconfigController::find_slot(const std::string& name) const {
+    for (const Slot& s : slots_)
+        if (s.name == name) return s;
+    throw ContractViolation("unknown slot: " + name);
+}
+
+ReconfigEvent ReconfigController::load(const std::string& slot,
+                                       const std::string& module) {
+    Slot& s = find_slot(slot);
+    const auto it = slot_modules_.find(slot);
+    REFPGA_EXPECTS(it != slot_modules_.end());
+    REFPGA_EXPECTS(std::find(it->second.begin(), it->second.end(), module) !=
+                   it->second.end());
+
+    ReconfigEvent event;
+    event.slot = slot;
+    event.module = module;
+
+    if (s.loaded_module == module) {
+        event.skipped = true;
+        events_.push_back(event);
+        return event;
+    }
+
+    const Bitstream bs = Bitstream::for_region(dev_, module, s.region);
+    event.bits = bs.bits;
+
+    // The controller streams flash -> port; the slower path paces it.
+    const double port_time = port_.config_time_s(bs);
+    const double flash_time = static_cast<double>(bs.bits) / flash_.read_bps;
+    event.time_s = std::max(port_time, flash_time);
+    event.energy_mj = event.time_s * (port_.active_power_mw + flash_.read_power_mw);
+
+    s.loaded_module = module;
+    events_.push_back(event);
+    return event;
+}
+
+const std::string& ReconfigController::resident_module(const std::string& slot) const {
+    return find_slot(slot).loaded_module;
+}
+
+double ReconfigController::total_time_s() const {
+    double t = 0.0;
+    for (const auto& e : events_) t += e.time_s;
+    return t;
+}
+
+double ReconfigController::total_energy_mj() const {
+    double e = 0.0;
+    for (const auto& ev : events_) e += ev.energy_mj;
+    return e;
+}
+
+long ReconfigController::load_count() const {
+    long n = 0;
+    for (const auto& e : events_)
+        if (!e.skipped) ++n;
+    return n;
+}
+
+}  // namespace refpga::reconfig

@@ -1,0 +1,39 @@
+// Configuration bitstreams: full-device and partial (column-range).
+//
+// Spartan-3 configuration frames span the full device height, so the
+// smallest reconfigurable unit is a whole CLB column; a partial bitstream
+// covers a contiguous column range. Sizes derive from the part's DS099
+// configuration-bit count via the Device's column geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "refpga/fabric/device.hpp"
+
+namespace refpga::reconfig {
+
+struct Bitstream {
+    std::string module_name;
+    int x_begin = 0;  ///< first CLB column covered
+    int x_end = 0;    ///< one past the last column (full device: cols())
+    bool full_device = false;
+    std::int64_t bits = 0;
+
+    [[nodiscard]] std::int64_t bytes() const { return (bits + 7) / 8; }
+
+    /// Full-device bitstream for `dev`.
+    [[nodiscard]] static Bitstream full(const fabric::Device& dev, std::string name);
+
+    /// Partial bitstream for a module occupying CLB columns [x_begin, x_end).
+    [[nodiscard]] static Bitstream partial(const fabric::Device& dev, std::string name,
+                                           int x_begin, int x_end);
+
+    /// Partial bitstream for a floorplan region; the region is widened to
+    /// whole columns (full height) because frames are column-granular.
+    [[nodiscard]] static Bitstream for_region(const fabric::Device& dev,
+                                              std::string name,
+                                              const fabric::Region& region);
+};
+
+}  // namespace refpga::reconfig

@@ -1,0 +1,40 @@
+// Slice-based bus macros and the static/dynamic boundary rule.
+//
+// In a partially reconfigurable design every signal crossing between the
+// static area and a reconfigurable slot must pass through a bus macro — a
+// fixed pair of slices whose routing is identical in every module bitstream
+// [8]. The builder helper creates such macros (LUT buffers tagged by name);
+// the checker verifies no net sneaks across the boundary without one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refpga/netlist/builder.hpp"
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::reconfig {
+
+inline constexpr const char* kBusMacroTag = "busmacro";
+
+/// Inserts a bus macro on each bit of `signals`: a buffer LUT in the source
+/// partition followed by a buffer LUT in `target` partition. Returns the
+/// nets on the target side. The builder's current partition is restored.
+[[nodiscard]] netlist::Bus bus_macro(netlist::Builder& builder, const netlist::Bus& signals,
+                                     netlist::PartitionId source,
+                                     netlist::PartitionId target,
+                                     const std::string& name);
+
+struct BoundaryViolation {
+    netlist::NetId net;
+    std::string net_name;
+    std::string from_partition;
+    std::string to_partition;
+};
+
+/// All nets that connect cells of different partitions without passing
+/// through a bus macro cell. Clock and constant nets are exempt (they use
+/// dedicated networks).
+[[nodiscard]] std::vector<BoundaryViolation> check_boundaries(const netlist::Netlist& nl);
+
+}  // namespace refpga::reconfig

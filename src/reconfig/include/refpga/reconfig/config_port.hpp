@@ -1,0 +1,59 @@
+// Configuration port models.
+//
+// Virtex-2/4 expose the ICAP for internal self-reconfiguration; Spartan-3
+// does not, which is why the paper uses the JCAP [11] — a virtual internal
+// configuration port built on the JTAG TAP. JTAG shifts one bit per TCK and
+// burns extra cycles in the TAP state machine, so the JCAP's rate is far
+// below ICAP's; [11] also describes an accelerated variant. SelectMAP is the
+// external 8-bit parallel port. All are modelled by width x clock x protocol
+// efficiency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "refpga/reconfig/bitstream.hpp"
+
+namespace refpga::reconfig {
+
+struct ConfigPortSpec {
+    std::string name;
+    double clock_hz = 0.0;
+    int width_bits = 1;
+    /// Fraction of cycles carrying payload (protocol/state-machine overhead).
+    double efficiency = 1.0;
+    /// Fixed per-reconfiguration overhead (sync words, CRC, desync).
+    double setup_s = 0.0;
+    /// Power drawn by the configuration logic while configuring.
+    double active_power_mw = 0.0;
+
+    [[nodiscard]] double throughput_bps() const {
+        return clock_hz * width_bits * efficiency;
+    }
+
+    /// Wall-clock time to push a bitstream through this port.
+    [[nodiscard]] double config_time_s(const Bitstream& bs) const {
+        return setup_s + static_cast<double>(bs.bits) / throughput_bps();
+    }
+
+    /// Energy spent configuring, in millijoules.
+    [[nodiscard]] double config_energy_mj(const Bitstream& bs) const {
+        return config_time_s(bs) * active_power_mw;
+    }
+};
+
+/// ICAP, 8 bit @ 66 MHz (Virtex-2/4 class; reference point only — absent on
+/// Spartan-3).
+[[nodiscard]] ConfigPortSpec icap_port();
+
+/// External SelectMAP, 8 bit @ 50 MHz.
+[[nodiscard]] ConfigPortSpec selectmap_port();
+
+/// JCAP virtual internal port on Spartan-3 JTAG: 1 bit @ 33 MHz TCK with TAP
+/// state-machine overhead.
+[[nodiscard]] ConfigPortSpec jcap_port();
+
+/// Accelerated JCAP from [11] (tighter TAP sequencing, less overhead).
+[[nodiscard]] ConfigPortSpec jcap_accelerated_port();
+
+}  // namespace refpga::reconfig

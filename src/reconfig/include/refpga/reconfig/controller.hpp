@@ -1,0 +1,86 @@
+// Run-time reconfiguration controller.
+//
+// Mirrors the paper's architecture (Fig. 2): a controller in the static area
+// fetches partial bitstreams from external low-power memory and writes them
+// to the configuration port; reconfigurable modules are loaded on demand into
+// a floorplan slot. The controller keeps a ledger of every reconfiguration's
+// time and energy so the measurement-cycle schedule (Fig. 4) can account for
+// the overhead the paper warns about.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "refpga/reconfig/bitstream.hpp"
+#include "refpga/reconfig/config_port.hpp"
+
+namespace refpga::reconfig {
+
+/// External bitstream storage (serial flash / low-power memory).
+struct FlashSpec {
+    std::string name = "spi-flash";
+    double read_bps = 160e6;       ///< parallel NOR flash: 8 bit x 20 MHz
+    double read_power_mw = 15.0;   ///< power while streaming
+};
+
+/// One reconfigurable slot of the floorplan.
+struct Slot {
+    std::string name;
+    fabric::Region region;
+    std::string loaded_module;  ///< empty until first load
+};
+
+struct ReconfigEvent {
+    std::string slot;
+    std::string module;
+    std::int64_t bits = 0;
+    double time_s = 0.0;
+    double energy_mj = 0.0;
+    bool skipped = false;  ///< module was already resident
+};
+
+class ReconfigController {
+public:
+    ReconfigController(const fabric::Device& dev, ConfigPortSpec port,
+                       FlashSpec flash = {});
+
+    [[nodiscard]] const ConfigPortSpec& port() const { return port_; }
+    [[nodiscard]] const FlashSpec& flash() const { return flash_; }
+
+    /// Declares a slot. Regions of different slots must not overlap columns
+    /// (frames are column-granular).
+    void add_slot(const std::string& name, const fabric::Region& region);
+    [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }
+
+    /// Registers a module's partial bitstream for a slot.
+    void register_module(const std::string& slot, const std::string& module);
+
+    /// Loads `module` into `slot`. No-op (skipped event) when already
+    /// resident. Configuration streams from flash into the port; the slower
+    /// of the two paces the transfer.
+    ReconfigEvent load(const std::string& slot, const std::string& module);
+
+    [[nodiscard]] const std::string& resident_module(const std::string& slot) const;
+
+    // --- ledger ---------------------------------------------------------------
+
+    [[nodiscard]] const std::vector<ReconfigEvent>& events() const { return events_; }
+    [[nodiscard]] double total_time_s() const;
+    [[nodiscard]] double total_energy_mj() const;
+    [[nodiscard]] long load_count() const;  ///< non-skipped loads
+
+private:
+    [[nodiscard]] Slot& find_slot(const std::string& name);
+    [[nodiscard]] const Slot& find_slot(const std::string& name) const;
+
+    fabric::Device dev_;  // owned copy: the controller must outlive any caller-supplied device
+    ConfigPortSpec port_;
+    FlashSpec flash_;
+    std::vector<Slot> slots_;
+    std::map<std::string, std::vector<std::string>> slot_modules_;
+    std::vector<ReconfigEvent> events_;
+};
+
+}  // namespace refpga::reconfig

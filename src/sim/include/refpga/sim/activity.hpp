@@ -1,0 +1,46 @@
+// Per-net switching activity, the input to dynamic power estimation.
+//
+// Activity can come straight from a Simulator run, or via the paper's
+// file-based route (VCD -> parse). Both converge to toggles-per-second
+// per net, which is what the power model consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+#include "refpga/sim/simulator.hpp"
+#include "refpga/sim/vcd.hpp"
+
+namespace refpga::sim {
+
+class ActivityMap {
+public:
+    explicit ActivityMap(std::size_t net_count) : rate_hz_(net_count, 0.0) {}
+
+    void set_rate(netlist::NetId net, double toggles_per_s) {
+        rate_hz_.at(net.value()) = toggles_per_s;
+    }
+    [[nodiscard]] double rate_hz(netlist::NetId net) const {
+        return rate_hz_.at(net.value());
+    }
+    [[nodiscard]] std::size_t size() const { return rate_hz_.size(); }
+
+    /// Nets sorted by descending toggle rate (the paper optimizes the
+    /// highest-communication nets first).
+    [[nodiscard]] std::vector<netlist::NetId> busiest(std::size_t count) const;
+
+private:
+    std::vector<double> rate_hz_;
+};
+
+/// Builds activity from a finished simulation: toggles observed over
+/// `cycles` cycles of a clock at `clock_hz`.
+[[nodiscard]] ActivityMap activity_from_simulation(const Simulator& sim, double clock_hz);
+
+/// Builds activity from a parsed VCD, matching signals to nets by name.
+/// Nets without a VCD record get rate 0.
+[[nodiscard]] ActivityMap activity_from_vcd(const netlist::Netlist& nl,
+                                            const VcdActivity& vcd);
+
+}  // namespace refpga::sim

@@ -1,0 +1,83 @@
+// Levelized two-value cycle simulator.
+//
+// Combinational cells are evaluated in topological order after every input
+// change or clock tick; sequential cells (FF, BRAM) latch on tick(). This is
+// the engine behind functional verification, the VCD/XPower activity flow
+// (§4.3 of the paper) and the SW-vs-HW timing comparison (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::sim {
+
+class Simulator {
+public:
+    /// The netlist must pass DRC (no combinational loops). Initial state:
+    /// all nets 0, all FFs 0, BRAMs hold their init contents.
+    explicit Simulator(const netlist::Netlist& nl);
+
+    [[nodiscard]] const netlist::Netlist& netlist() const { return nl_; }
+
+    // --- stimulus / observation ----------------------------------------------
+
+    /// Drives an input port with `value` (bit i of value -> bit i of the port).
+    void set_input(const std::string& port, std::uint64_t value);
+
+    /// Reads a port (input or output) as an unsigned integer.
+    [[nodiscard]] std::uint64_t get_port(const std::string& port) const;
+
+    [[nodiscard]] bool net_value(netlist::NetId net) const;
+
+    // --- time ----------------------------------------------------------------
+
+    /// One rising edge of `clock`: latch sequential state, then settle
+    /// combinational logic. Default: the netlist's single clock.
+    void tick(netlist::NetId clock = netlist::NetId{});
+
+    /// Convenience: n ticks of the default clock.
+    void run(int cycles);
+
+    /// Re-evaluates combinational logic (called automatically by
+    /// set_input/tick; exposed for tests).
+    void settle();
+
+    [[nodiscard]] std::int64_t cycle_count() const { return cycles_; }
+
+    /// Nets whose value changed during the most recent settle/tick.
+    [[nodiscard]] const std::vector<netlist::NetId>& changed_nets() const {
+        return changed_;
+    }
+
+    /// Total value toggles per net since construction (for activity analysis).
+    [[nodiscard]] const std::vector<std::int64_t>& toggle_counts() const {
+        return toggles_;
+    }
+
+    /// BRAM word access (test/debug and software-memory modelling).
+    [[nodiscard]] std::uint32_t bram_word(netlist::CellId bram, std::size_t addr) const;
+    void set_bram_word(netlist::CellId bram, std::size_t addr, std::uint32_t value);
+
+private:
+    void levelize();
+    void eval_cell(std::uint32_t cell_index);
+    void set_net(netlist::NetId net, bool value);
+    [[nodiscard]] bool in_value(const netlist::Cell& c, std::size_t pin) const;
+    [[nodiscard]] std::uint64_t bus_in(const netlist::Cell& c, std::size_t first,
+                                       std::size_t count) const;
+
+    const netlist::Netlist& nl_;
+    std::vector<std::uint8_t> values_;           ///< current net values
+    std::vector<std::uint32_t> comb_order_;      ///< combinational cells, topo order
+    std::vector<std::uint32_t> seq_cells_;       ///< FF + BRAM cell indices
+    std::vector<std::vector<std::uint32_t>> bram_state_;  ///< per BRAM cell contents
+    std::vector<std::int64_t> toggles_;
+    std::vector<netlist::NetId> changed_;
+    netlist::NetId default_clock_;
+    std::int64_t cycles_ = 0;
+};
+
+}  // namespace refpga::sim

@@ -1,0 +1,53 @@
+// Value Change Dump (IEEE 1364 §18) writing and parsing.
+//
+// The paper's §4.3 flow is: post-PAR simulation -> VCD file -> XPower, which
+// derives per-net switching rates. We reproduce the same round trip: the
+// simulator writes a real VCD, the parser recovers per-signal toggle counts
+// that feed the power estimator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+#include "refpga/sim/simulator.hpp"
+
+namespace refpga::sim {
+
+class VcdWriter {
+public:
+    /// Watches `nets` of the simulator's netlist. Header is emitted
+    /// immediately; timescale is 1 ps.
+    VcdWriter(std::ostream& os, const Simulator& sim, std::vector<netlist::NetId> nets);
+
+    /// Emits value changes for watched nets at absolute time `time_ps`.
+    /// Times must be non-decreasing.
+    void sample(std::int64_t time_ps);
+
+private:
+    [[nodiscard]] static std::string code_for(std::size_t index);
+
+    std::ostream& os_;
+    const Simulator& sim_;
+    std::vector<netlist::NetId> nets_;
+    std::vector<std::string> codes_;
+    std::vector<std::int8_t> last_;  ///< -1 = not yet dumped
+    std::int64_t last_time_ = -1;
+};
+
+/// Per-signal toggle statistics recovered from a VCD file.
+struct VcdActivity {
+    std::int64_t duration_ps = 0;
+    std::map<std::string, std::int64_t> toggles;  ///< signal name -> transitions
+
+    /// Transitions per second for one signal (0 if unknown).
+    [[nodiscard]] double toggle_rate_hz(const std::string& signal) const;
+};
+
+/// Parses a VCD stream produced by VcdWriter (scalar variables only).
+[[nodiscard]] VcdActivity parse_vcd(std::istream& is);
+
+}  // namespace refpga::sim

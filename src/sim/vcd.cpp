@@ -1,0 +1,104 @@
+#include "refpga/sim/vcd.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::sim {
+
+VcdWriter::VcdWriter(std::ostream& os, const Simulator& sim,
+                     std::vector<netlist::NetId> nets)
+    : os_(os), sim_(sim), nets_(std::move(nets)) {
+    codes_.reserve(nets_.size());
+    last_.assign(nets_.size(), -1);
+
+    os_ << "$timescale 1ps $end\n";
+    os_ << "$scope module top $end\n";
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+        codes_.push_back(code_for(i));
+        const auto& net = sim_.netlist().net(nets_[i]);
+        // VCD identifiers must not contain whitespace; net names are safe
+        // (builder uses [a-zA-Z0-9_/.\[\]]).
+        os_ << "$var wire 1 " << codes_[i] << ' ' << net.name << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+std::string VcdWriter::code_for(std::size_t index) {
+    // Printable identifier alphabet '!'..'~' (94 symbols), little-endian.
+    std::string code;
+    do {
+        code += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index != 0);
+    return code;
+}
+
+void VcdWriter::sample(std::int64_t time_ps) {
+    REFPGA_EXPECTS(time_ps > last_time_);
+    bool header_emitted = false;
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+        const auto v = static_cast<std::int8_t>(sim_.net_value(nets_[i]) ? 1 : 0);
+        if (v == last_[i]) continue;
+        if (!header_emitted) {
+            os_ << '#' << time_ps << '\n';
+            header_emitted = true;
+        }
+        os_ << (v != 0 ? '1' : '0') << codes_[i] << '\n';
+        last_[i] = v;
+    }
+    last_time_ = time_ps;
+}
+
+double VcdActivity::toggle_rate_hz(const std::string& signal) const {
+    if (duration_ps <= 0) return 0.0;
+    const auto it = toggles.find(signal);
+    if (it == toggles.end()) return 0.0;
+    return static_cast<double>(it->second) / (static_cast<double>(duration_ps) * 1e-12);
+}
+
+VcdActivity parse_vcd(std::istream& is) {
+    VcdActivity activity;
+    std::map<std::string, std::string> code_to_name;
+    std::map<std::string, std::int8_t> last_value;
+    std::int64_t first_time = -1;
+    std::int64_t time = 0;
+
+    std::string token;
+    while (is >> token) {
+        if (token == "$var") {
+            // $var wire 1 <code> <name> $end
+            std::string type, width, code, name, end;
+            if (!(is >> type >> width >> code >> name >> end)) break;
+            code_to_name[code] = name;
+            last_value[code] = -1;
+        } else if (token[0] == '$') {
+            // Skip other directives until their $end.
+            if (token != "$end" && token.find("$end") == std::string::npos) {
+                std::string w;
+                while (is >> w && w != "$end") {
+                }
+            }
+        } else if (token[0] == '#') {
+            time = std::stoll(token.substr(1));
+            if (first_time < 0) first_time = time;
+            activity.duration_ps = time - first_time;
+        } else if (token[0] == '0' || token[0] == '1') {
+            const std::string code = token.substr(1);
+            const auto v = static_cast<std::int8_t>(token[0] - '0');
+            auto it = last_value.find(code);
+            if (it == last_value.end()) continue;
+            if (it->second >= 0 && it->second != v) {
+                const auto name_it = code_to_name.find(code);
+                if (name_it != code_to_name.end()) ++activity.toggles[name_it->second];
+            }
+            if (it->second < 0) activity.toggles.try_emplace(code_to_name[code], 0);
+            it->second = v;
+        }
+        // 'b...' vector changes and 'x/z' states are not produced by VcdWriter.
+    }
+    return activity;
+}
+
+}  // namespace refpga::sim

@@ -1,0 +1,48 @@
+#include "refpga/soc/fabric_macros.hpp"
+
+namespace refpga::soc {
+
+using netlist::Builder;
+using netlist::Bus;
+
+Bus make_logic_blob(Builder& builder, int slice_target, const std::string& name) {
+    REFPGA_EXPECTS(slice_target >= 1);
+    // One slice = 2 LUTs + 2 FFs; an n-bit Fibonacci-style LFSR ring built
+    // as q[i+1] = q[i] XOR q[tap(i)] uses exactly n LUTs + n FFs.
+    const int bits = slice_target * 2;
+    builder.push_scope(name);
+    const Bus q = builder.feedback_reg(
+        bits,
+        [&](const Bus& state) {
+            Bus next(state.size());
+            for (std::size_t i = 0; i < state.size(); ++i) {
+                const std::size_t prev = (i + state.size() - 1) % state.size();
+                // Vary tap distance so net lengths differ across the blob.
+                const std::size_t tap = (i * 7 + 3) % state.size();
+                // Lane 0 uses XNOR: breaks the all-zero fixpoint at the same
+                // LUT cost, keeping the slice budget exact.
+                next[i] = i == 0 ? builder.xnor_(state[prev], state[tap])
+                                 : builder.xor_(state[prev], state[tap]);
+            }
+            return next;
+        },
+        netlist::NetId{}, "lfsr");
+    builder.pop_scope();
+    // Expose a few taps as the blob's observable outputs.
+    Bus taps;
+    for (std::size_t i = 0; i < q.size() && taps.size() < 8; i += q.size() / 8 + 1)
+        taps.push_back(q[i]);
+    return taps;
+}
+
+void emit_static_soft_ip(Builder& builder, const SoftIpBudgets& budgets) {
+    const std::pair<int, const char*> blocks[] = {
+        {budgets.microblaze, "microblaze"}, {budgets.opb_and_uart, "opb_uart"},
+        {budgets.fsl_interface, "fsl"},     {budgets.jcap_controller, "jcap"},
+        {budgets.memory_controller, "emc"},
+    };
+    for (const auto& [slices, name] : blocks)
+        if (slices > 0) (void)make_logic_blob(builder, slices, name);
+}
+
+}  // namespace refpga::soc

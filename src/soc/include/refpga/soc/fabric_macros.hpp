@@ -1,0 +1,56 @@
+// Fabric stand-ins for the static-area soft IP.
+//
+// The behavioural side of the soft-core (CPU, buses) is simulated by the
+// cycle model in cpu.hpp; for floorplanning, power and Table 1 we also need
+// the *fabric footprint* of those blocks. Each macro generates a functional
+// LFSR-structured netlist blob with the block's calibrated slice count, so
+// placement, routing, activity simulation and power estimation all see
+// realistic static-area logic. Slice budgets follow period EDK datasheets
+// (MicroBlaze ~1000-1200 slices with barrel shifter; OPB UART ~150; FSL ~50
+// per link; JCAP controller per [11]).
+#pragma once
+
+#include <string>
+
+#include "refpga/netlist/builder.hpp"
+
+namespace refpga::soc {
+
+/// Generates a self-running LFSR mesh of about `slice_target` slices
+/// (2 LUTs + 2 FFs per slice) in the builder's current partition.
+/// Returns the blob's observable output bus (taps), usable as a port.
+[[nodiscard]] netlist::Bus make_logic_blob(netlist::Builder& builder, int slice_target,
+                                           const std::string& name);
+
+/// Calibrated slice budgets for the static-area IP blocks.
+struct SoftIpBudgets {
+    int microblaze = 1080;      ///< soft-core with HW multiplier + shifter
+    int opb_and_uart = 170;     ///< OPB arbiter + RS232 UART Lite
+    int fsl_interface = 60;     ///< FSL bus + busmacro staging
+    int jcap_controller = 140;  ///< virtual JTAG configuration port [11]
+    int memory_controller = 160;///< external SRAM interface (EMC)
+
+    [[nodiscard]] int total() const {
+        return microblaze + opb_and_uart + fsl_interface + jcap_controller +
+               memory_controller;
+    }
+
+    /// Cost-reduced static area: minimal MicroBlaze configuration (no barrel
+    /// shifter / divider, ~525 slices per EDK data) and no external memory
+    /// controller (all code in BRAM after the hardware rewrite). Used by the
+    /// paper's 5-slot repartitioning scenario targeting the XC3S200.
+    [[nodiscard]] static SoftIpBudgets minimal() {
+        SoftIpBudgets b;
+        b.microblaze = 525;
+        b.opb_and_uart = 150;
+        b.fsl_interface = 60;
+        b.jcap_controller = 140;
+        b.memory_controller = 0;
+        return b;
+    }
+};
+
+/// Emits all static-area soft IP blobs into the current partition.
+void emit_static_soft_ip(netlist::Builder& builder, const SoftIpBudgets& budgets = {});
+
+}  // namespace refpga::soc

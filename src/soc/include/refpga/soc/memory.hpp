@@ -1,0 +1,69 @@
+// SoC memory system: LMB block RAM, external SRAM over EMC, and OPB
+// peripherals (UART, GPIO).
+//
+// The latency split is the heart of the paper's software baseline: code that
+// fits local BRAM (LMB) executes with single-cycle fetches, while the >60 KB
+// measurement algorithms spill to external SRAM whose multi-cycle accesses
+// dominate the 7 ms software processing time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "refpga/soc/assembler.hpp"
+
+namespace refpga::soc {
+
+/// Canonical memory map.
+inline constexpr std::uint32_t kLmbBase = 0x0000'0000;
+inline constexpr std::uint32_t kSramBase = 0x8000'0000;
+inline constexpr std::uint32_t kOpbBase = 0xC000'0000;
+inline constexpr std::uint32_t kUartTxAddr = kOpbBase + 0x0;
+inline constexpr std::uint32_t kUartStatusAddr = kOpbBase + 0x4;
+inline constexpr std::uint32_t kGpioAddr = kOpbBase + 0x10;
+
+struct MemoryConfig {
+    std::uint32_t lmb_bytes = 32 * 1024;    ///< internal BRAM (fast)
+    std::uint32_t sram_bytes = 1024 * 1024; ///< external SRAM (slow)
+    int lmb_latency = 1;                    ///< cycles per access
+    int sram_latency = 5;                   ///< EMC wait states included
+    int opb_latency = 4;                    ///< bus arbitration + peripheral
+};
+
+class MemorySystem {
+public:
+    explicit MemorySystem(MemoryConfig config = {});
+
+    [[nodiscard]] const MemoryConfig& config() const { return config_; }
+
+    /// Word access; addr must be 4-aligned and mapped. Returns the value and
+    /// adds the region's latency to `cycles`.
+    [[nodiscard]] std::uint32_t read_word(std::uint32_t addr, std::int64_t& cycles);
+    void write_word(std::uint32_t addr, std::uint32_t value, std::int64_t& cycles);
+
+    /// Latency-free accessors for loaders and tests.
+    [[nodiscard]] std::uint32_t peek(std::uint32_t addr) const;
+    void poke(std::uint32_t addr, std::uint32_t value);
+
+    /// Loads an assembled program at its linked addresses.
+    void load(const Program& program);
+
+    /// Fetch latency for the region containing `addr` (models instruction
+    /// fetch cost: 1 for LMB, the SRAM latency for external code).
+    [[nodiscard]] int fetch_latency(std::uint32_t addr) const;
+
+    /// Characters written to the UART TX register so far.
+    [[nodiscard]] const std::string& uart_output() const { return uart_tx_; }
+    [[nodiscard]] std::uint32_t gpio() const { return gpio_; }
+
+private:
+    MemoryConfig config_;
+    std::vector<std::uint32_t> lmb_;
+    std::vector<std::uint32_t> sram_;
+    std::string uart_tx_;
+    std::uint32_t gpio_ = 0;
+};
+
+}  // namespace refpga::soc

@@ -1,0 +1,148 @@
+// Software-baseline tests: the MicroBlaze firmware must agree with the
+// golden pipeline (exactly where its arithmetic is exact, within documented
+// tolerance where the soft-multiply route pre-scales), and its cost structure
+// must reproduce the paper's observations (>60 KB image, multi-ms runtime,
+// SRAM and soft-multiply as the dominant factors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "refpga/app/golden.hpp"
+#include "refpga/app/software.hpp"
+#include "refpga/soc/assembler.hpp"
+
+namespace refpga::app {
+namespace {
+
+AppParams params() { return AppParams{}; }
+
+std::vector<std::int32_t> tone_window(const AppParams& p, double amp, double phi) {
+    std::vector<std::int32_t> w(static_cast<std::size_t>(p.window));
+    for (int n = 0; n < p.window; ++n)
+        w[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(
+            std::lround(amp * std::sin(2.0 * M_PI * p.bin * n / p.window + phi)));
+    return w;
+}
+
+TEST(Software, SourceAssembles) {
+    const std::string src = measurement_source(params());
+    EXPECT_NO_THROW((void)soc::assemble(src));
+}
+
+TEST(Software, ImageExceedsSixtyKilobytes) {
+    // §4.2: "the software algorithms required more than 60 Kbyte of memory,
+    // which made it necessary to store the code in external SRAM".
+    const auto program = soc::assemble(measurement_source(params()));
+    EXPECT_GT(program.size_bytes() - 0x80000000u, 60u * 1024u);
+}
+
+TEST(Software, PhaseAndExactStagesMatchGolden) {
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1500.0, 0.4);
+    const auto ref = tone_window(p, 900.0, -0.2);
+    const SoftwareRun run = run_software_cycle(meas, ref, p);
+
+    const auto acc = golden::accumulate_window(meas, ref, p);
+    const auto gm = golden::amp_phase(acc.i_meas, acc.q_meas, p);
+    const auto gr = golden::amp_phase(acc.i_ref, acc.q_ref, p);
+    // Phases are computed with identical integer CORDIC: exact.
+    EXPECT_EQ(run.phase_meas, gm.phase);
+    EXPECT_EQ(run.phase_ref, gr.phase);
+    // Amplitudes use the documented pre-scaled soft-multiply: small error.
+    EXPECT_NEAR(static_cast<double>(run.amp_meas), static_cast<double>(gm.amplitude),
+                6.0);
+    EXPECT_NEAR(static_cast<double>(run.amp_ref), static_cast<double>(gr.amplitude),
+                6.0);
+}
+
+TEST(Software, HwMultiplierVariantAmplitudeIsExact) {
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1500.0, 0.4);
+    const auto ref = tone_window(p, 900.0, -0.2);
+    SoftwareConfig config;
+    config.hw_multiplier = true;
+    const SoftwareRun run = run_software_cycle(meas, ref, p, config);
+
+    const auto acc = golden::accumulate_window(meas, ref, p);
+    const auto gm = golden::amp_phase(acc.i_meas, acc.q_meas, p);
+    const auto gr = golden::amp_phase(acc.i_ref, acc.q_ref, p);
+    EXPECT_EQ(run.amp_meas, gm.amplitude);
+    EXPECT_EQ(run.amp_ref, gr.amplitude);
+    EXPECT_EQ(run.phase_meas, gm.phase);
+
+    // With exact amplitudes, ratio/capacity/level are exact too.
+    const auto cap = golden::capacity(gm, gr, p);
+    EXPECT_EQ(run.ratio_q12, cap.ratio_q12);
+    EXPECT_EQ(run.cap_pf_q4, cap.cap_pf_q4);
+    golden::FilterState filter(p);
+    golden::FilterState::Output out{};
+    for (int i = 0; i < 64; ++i) out = filter.step(cap.cap_pf_q4);
+    EXPECT_EQ(run.level_q15, out.level_q15);
+}
+
+TEST(Software, CapacityCloseToGoldenWithSoftMultiply) {
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1650.0, 0.1);
+    const auto ref = tone_window(p, 1100.0, 0.1);
+    const SoftwareRun run = run_software_cycle(meas, ref, p);
+    // Expected C ~ 1.5 * C_ref = 330 pF.
+    EXPECT_NEAR(static_cast<double>(run.cap_pf_q4) / 16.0, 330.0, 6.0);
+}
+
+TEST(Software, RuntimeIsMilliseconds) {
+    // The 7 ms headline: legacy configuration (soft multiply, SRAM code).
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1200.0, 0.0);
+    const auto ref = tone_window(p, 1000.0, 0.0);
+    const SoftwareRun run = run_software_cycle(meas, ref, p);
+    const double seconds = run.seconds(p.system_clock_hz);
+    EXPECT_GT(seconds, 2e-3);
+    EXPECT_LT(seconds, 20e-3);
+}
+
+TEST(Software, HwMultiplierSpeedsUpSignificantly) {
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1200.0, 0.0);
+    const auto ref = tone_window(p, 1000.0, 0.0);
+    const SoftwareRun soft = run_software_cycle(meas, ref, p);
+    SoftwareConfig config;
+    config.hw_multiplier = true;
+    const SoftwareRun hw = run_software_cycle(meas, ref, p, config);
+    EXPECT_LT(hw.cycles, soft.cycles / 2);
+}
+
+TEST(Software, BramResidentCodeIsFaster) {
+    // The rewrite direction: the same kernel without the firmware bulk and
+    // fetched from LMB BRAM runs several times faster.
+    const AppParams p = params();
+    const auto meas = tone_window(p, 1200.0, 0.0);
+    const auto ref = tone_window(p, 1000.0, 0.0);
+    const SoftwareRun sram = run_software_cycle(meas, ref, p);
+
+    SoftwareConfig bram_config;
+    bram_config.code_in_sram = false;
+    bram_config.padding_bytes = 0;
+    SoftwareLayout layout;
+    // Data buffers stay in SRAM (they model the converters' buffers).
+    const SoftwareRun bram = [&] {
+        // run_software_cycle uses the default layout; code_in_sram=false
+        // assembles from address 0.
+        return run_software_cycle(meas, ref, p, bram_config);
+    }();
+    EXPECT_EQ(bram.phase_meas, sram.phase_meas);  // identical results
+    EXPECT_LT(bram.cycles, sram.cycles / 2);
+    (void)layout;
+}
+
+TEST(Software, DeterministicAcrossRuns) {
+    const AppParams p = params();
+    const auto meas = tone_window(p, 800.0, 1.0);
+    const auto ref = tone_window(p, 700.0, 0.5);
+    const SoftwareRun a = run_software_cycle(meas, ref, p);
+    const SoftwareRun b = run_software_cycle(meas, ref, p);
+    EXPECT_EQ(a.level_q15, b.level_q15);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+}  // namespace
+}  // namespace refpga::app

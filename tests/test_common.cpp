@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/fixed.hpp"
+#include "refpga/common/rng.hpp"
+#include "refpga/common/strong_id.hpp"
+#include "refpga/common/table.hpp"
+
+namespace refpga {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsPassesOnTrue) { EXPECT_NO_THROW(REFPGA_EXPECTS(1 + 1 == 2)); }
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(REFPGA_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesTheExpression) {
+    try {
+        REFPGA_ENSURES(2 < 1);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------- strong id
+
+struct FooTag {};
+struct BarTag {};
+using FooId = StrongId<FooTag>;
+using BarId = StrongId<BarTag>;
+
+TEST(StrongId, DefaultIsInvalid) {
+    FooId id;
+    EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+    FooId id{42};
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Comparison) {
+    EXPECT_EQ(FooId{3}, FooId{3});
+    EXPECT_NE(FooId{3}, FooId{4});
+    EXPECT_LT(FooId{3}, FooId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<FooId, BarId>);
+}
+
+TEST(StrongId, Hashable) {
+    std::hash<FooId> h;
+    EXPECT_EQ(h(FooId{7}), h(FooId{7}));
+}
+
+// ---------------------------------------------------------------- fixed
+
+TEST(Fixed, FromIntRoundTrip) {
+    const Q16 v = Q16::from_int(-5);
+    EXPECT_DOUBLE_EQ(v.to_double(), -5.0);
+}
+
+TEST(Fixed, FromDoubleQuantizes) {
+    const Q16 v = Q16::from_double(1.5);
+    EXPECT_EQ(v.raw(), 3 << 15);
+}
+
+TEST(Fixed, Addition) {
+    EXPECT_DOUBLE_EQ((Q16::from_double(1.25) + Q16::from_double(2.5)).to_double(), 3.75);
+}
+
+TEST(Fixed, MultiplicationKeepsScale) {
+    EXPECT_DOUBLE_EQ((Q16::from_double(1.5) * Q16::from_double(2.0)).to_double(), 3.0);
+}
+
+TEST(Fixed, DivisionExact) {
+    EXPECT_DOUBLE_EQ((Q16::from_double(3.0) / Q16::from_double(2.0)).to_double(), 1.5);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+    const Q16 big = Q16::from_double(32767.0);
+    const Q16 sum = big + big;
+    EXPECT_EQ(sum.raw(), Q16::kMaxRaw);
+}
+
+TEST(Fixed, DivisionByZeroViolatesContract) {
+    EXPECT_THROW(Q16::from_int(1) / Q16{}, ContractViolation);
+}
+
+class FixedMulProperty : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(FixedMulProperty, MatchesDoubleWithinLsb) {
+    const auto [a, b] = GetParam();
+    const double got = (Q16::from_double(a) * Q16::from_double(b)).to_double();
+    EXPECT_NEAR(got, a * b, 1.0 / 32768.0 * (std::abs(a) + std::abs(b) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, FixedMulProperty,
+                         ::testing::Values(std::pair{0.5, 0.5}, std::pair{-1.5, 2.25},
+                                           std::pair{3.0, -7.125},
+                                           std::pair{-0.0625, -16.0},
+                                           std::pair{100.0, 0.01}));
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianRoughlyCentred) {
+    Rng r(42);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) sum += r.next_gaussian();
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersHeaderAndRows) {
+    Table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+    EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, RejectsWrongArity) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, NumFormatsPrecision) { EXPECT_EQ(Table::num(3.14159, 2), "3.14"); }
+
+}  // namespace
+}  // namespace refpga

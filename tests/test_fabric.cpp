@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/fabric/device.hpp"
+#include "refpga/fabric/part.hpp"
+#include "refpga/fabric/wire.hpp"
+
+namespace refpga::fabric {
+namespace {
+
+// ---------------------------------------------------------------- catalog
+
+TEST(PartCatalog, HasEightSpartan3Parts) { EXPECT_EQ(spartan3_parts().size(), 8u); }
+
+TEST(PartCatalog, SliceCountsMatchClbGeometry) {
+    for (const Part& p : spartan3_parts())
+        EXPECT_EQ(p.slices, p.clb_rows * p.clb_cols * 4) << p.id;
+}
+
+TEST(PartCatalog, Xc3s400Geometry) {
+    const Part& p = part(PartName::XC3S400);
+    EXPECT_EQ(p.slices, 3584);
+    EXPECT_EQ(p.bram_blocks, 16);
+    EXPECT_EQ(p.multipliers, 16);
+}
+
+TEST(PartCatalog, SortedAscendingBySize) {
+    const auto parts = spartan3_parts();
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        EXPECT_GT(parts[i].slices, parts[i - 1].slices);
+        EXPECT_GT(parts[i].config_bits, parts[i - 1].config_bits);
+        EXPECT_GT(parts[i].quiescent_ma, parts[i - 1].quiescent_ma);
+        EXPECT_GT(parts[i].unit_cost_usd, parts[i - 1].unit_cost_usd);
+    }
+}
+
+TEST(PartCatalog, ParsePartRoundTrip) {
+    for (const Part& p : spartan3_parts()) {
+        const auto name = parse_part(p.id);
+        ASSERT_TRUE(name.has_value()) << p.id;
+        EXPECT_EQ(part(*name).id, p.id);
+    }
+    EXPECT_FALSE(parse_part("xc2v1000").has_value());
+}
+
+TEST(PartCatalog, SmallestFitPicksExactBoundary) {
+    EXPECT_EQ(smallest_fit(3584, 0, 0), PartName::XC3S400);
+    EXPECT_EQ(smallest_fit(3585, 0, 0), PartName::XC3S1000);
+    EXPECT_EQ(smallest_fit(1, 17, 0), PartName::XC3S1000);
+    EXPECT_FALSE(smallest_fit(100000, 0, 0).has_value());
+}
+
+TEST(PartCatalog, StaticPowerGrowsWithSize) {
+    EXPECT_LT(part(PartName::XC3S200).static_power_mw(),
+              part(PartName::XC3S1000).static_power_mw());
+}
+
+// The paper's static-power lever: dropping XC3S1000 -> XC3S400 must save a
+// meaningful fraction of quiescent power.
+TEST(PartCatalog, DownsizingSavesStaticPower) {
+    const double p1000 = part(PartName::XC3S1000).static_power_mw();
+    const double p400 = part(PartName::XC3S400).static_power_mw();
+    EXPECT_GT((p1000 - p400) / p1000, 0.30);
+}
+
+// ---------------------------------------------------------------- wires
+
+TEST(Wires, SpansAscendShortestFirst) {
+    const auto types = all_wire_types();
+    for (std::size_t i = 1; i < types.size(); ++i)
+        EXPECT_GT(wire_params(types[i]).span, wire_params(types[i - 1]).span);
+}
+
+TEST(Wires, LongerWiresCostMoreCapacitancePerSegment) {
+    const auto types = all_wire_types();
+    for (std::size_t i = 1; i < types.size(); ++i)
+        EXPECT_GT(wire_params(types[i]).capacitance_pf,
+                  wire_params(types[i - 1]).capacitance_pf);
+}
+
+// The trade-off the paper's §4.3 exploits, stated as invariants: per tile
+// reached, long wires are faster but burn more capacitance.
+TEST(Wires, DelayPerTileFallsWithSpan) {
+    const auto types = all_wire_types();
+    for (std::size_t i = 1; i < types.size(); ++i) {
+        const auto& a = wire_params(types[i - 1]);
+        const auto& b = wire_params(types[i]);
+        EXPECT_LT(b.delay_ps / b.span, a.delay_ps / a.span);
+    }
+}
+
+TEST(Wires, CapacitancePerTileRisesWithSpan) {
+    const auto types = all_wire_types();
+    for (std::size_t i = 1; i < types.size(); ++i) {
+        const auto& a = wire_params(types[i - 1]);
+        const auto& b = wire_params(types[i]);
+        EXPECT_GT(b.capacitance_pf / b.span, a.capacitance_pf / a.span);
+    }
+}
+
+TEST(Wires, Names) {
+    EXPECT_EQ(wire_type_name(WireType::Direct), "direct");
+    EXPECT_EQ(wire_type_name(WireType::Long), "long");
+}
+
+// ---------------------------------------------------------------- device
+
+class DeviceGeometry : public ::testing::TestWithParam<PartName> {};
+
+TEST_P(DeviceGeometry, FullRegionCapacityEqualsSlices) {
+    const Device dev(GetParam());
+    EXPECT_EQ(dev.full_region().slice_capacity(), dev.slice_count());
+}
+
+TEST_P(DeviceGeometry, BramAndMultSitesMatchCatalog) {
+    const Device dev(GetParam());
+    EXPECT_EQ(static_cast<int>(dev.bram_sites().size()), dev.part().bram_blocks);
+    EXPECT_EQ(static_cast<int>(dev.mult_sites().size()), dev.part().multipliers);
+    for (const auto& s : dev.bram_sites()) EXPECT_TRUE(dev.valid_slice(s));
+    for (const auto& s : dev.mult_sites()) EXPECT_TRUE(dev.valid_slice(s));
+}
+
+TEST_P(DeviceGeometry, PartialBitsScaleWithColumns) {
+    const Device dev(GetParam());
+    const auto one = dev.partial_bits(0, 1);
+    const auto three = dev.partial_bits(0, 3);
+    EXPECT_EQ(three, 3 * one);
+    EXPECT_LT(dev.partial_bits(0, dev.cols()), dev.full_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParts, DeviceGeometry,
+                         ::testing::Values(PartName::XC3S50, PartName::XC3S200,
+                                           PartName::XC3S400, PartName::XC3S1000,
+                                           PartName::XC3S1500, PartName::XC3S2000,
+                                           PartName::XC3S4000, PartName::XC3S5000));
+
+TEST(Device, ValidSliceBounds) {
+    const Device dev(PartName::XC3S50);
+    EXPECT_TRUE(dev.valid_slice({0, 0, 0}));
+    EXPECT_TRUE(dev.valid_slice({11, 15, 3}));
+    EXPECT_FALSE(dev.valid_slice({12, 0, 0}));
+    EXPECT_FALSE(dev.valid_slice({0, 16, 0}));
+    EXPECT_FALSE(dev.valid_slice({0, 0, 4}));
+    EXPECT_FALSE(dev.valid_slice({-1, 0, 0}));
+}
+
+TEST(Device, DistanceIsManhattan) {
+    EXPECT_EQ(Device::distance({0, 0, 0}, {3, 4, 2}), 7);
+    EXPECT_EQ(Device::distance({5, 5, 0}, {5, 5, 3}), 0);
+}
+
+TEST(Device, PartialBitsRejectsBadRange) {
+    const Device dev(PartName::XC3S200);
+    EXPECT_THROW((void)dev.partial_bits(3, 3), ContractViolation);
+    EXPECT_THROW((void)dev.partial_bits(-1, 2), ContractViolation);
+    EXPECT_THROW((void)dev.partial_bits(0, dev.cols() + 1), ContractViolation);
+}
+
+TEST(Device, RegionContains) {
+    const Region r{2, 5, 1, 4};
+    EXPECT_TRUE(r.contains(2, 1));
+    EXPECT_TRUE(r.contains(4, 3));
+    EXPECT_FALSE(r.contains(5, 3));
+    EXPECT_FALSE(r.contains(4, 4));
+    EXPECT_EQ(r.slice_capacity(), 3 * 3 * 4);
+}
+
+}  // namespace
+}  // namespace refpga::fabric

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "refpga/netlist/builder.hpp"
+#include "refpga/par/pack.hpp"
+#include "refpga/par/placement.hpp"
+#include "refpga/par/router.hpp"
+#include "refpga/power/estimator.hpp"
+#include "refpga/sim/activity.hpp"
+#include "refpga/sim/simulator.hpp"
+
+namespace refpga::power {
+namespace {
+
+using fabric::Device;
+using fabric::PartName;
+using netlist::Builder;
+using netlist::Bus;
+using netlist::Netlist;
+using netlist::NetId;
+
+struct Fixture {
+    Netlist nl;
+    NetId clk;
+    par::PackedDesign packed;
+
+    explicit Fixture(int bits = 8) {
+        clk = nl.add_input_port("clk", 1)[0];
+        Builder b(nl, clk);
+        const Bus q = b.counter(bits);
+        nl.add_output_port("q", q);
+        packed = par::pack(nl);
+    }
+};
+
+struct RoutedFixture {
+    Fixture f;
+    Device dev;
+    par::Placement placement;
+    par::RoutedDesign routed;
+
+    explicit RoutedFixture(PartName part = PartName::XC3S200, int bits = 8)
+        : f(bits), dev(part), placement(dev, f.nl, f.packed), routed(placement, {}) {
+        placement.place_initial();
+        routed.route_all(par::RouteMode::Performance);
+    }
+
+    sim::ActivityMap activity(double clock_hz, int cycles = 256) {
+        sim::Simulator simulator(f.nl);
+        simulator.run(cycles);
+        return sim::activity_from_simulation(simulator, clock_hz);
+    }
+};
+
+TEST(Estimator, StaticPowerMatchesPart) {
+    RoutedFixture r;
+    const auto activity = r.activity(50e6);
+    const PowerReport report = estimate_power(r.routed, activity, 50e6);
+    EXPECT_DOUBLE_EQ(report.static_mw,
+                     fabric::part(PartName::XC3S200).static_power_mw());
+}
+
+TEST(Estimator, BiggerDeviceBurnsMoreStaticPower) {
+    RoutedFixture small(PartName::XC3S200);
+    RoutedFixture big(PartName::XC3S1000);
+    const auto act_small = small.activity(50e6);
+    const auto act_big = big.activity(50e6);
+    EXPECT_GT(estimate_power(big.routed, act_big, 50e6).static_mw,
+              estimate_power(small.routed, act_small, 50e6).static_mw);
+}
+
+TEST(Estimator, DynamicPowerScalesWithClock) {
+    RoutedFixture r;
+    const auto act_50 = r.activity(50e6);
+    const auto act_25 = r.activity(25e6);
+    const PowerReport at50 = estimate_power(r.routed, act_50, 50e6);
+    const PowerReport at25 = estimate_power(r.routed, act_25, 25e6);
+    // Same design, half the clock: dynamic power halves (the paper's argument
+    // for lowering the clock after moving algorithms into hardware).
+    EXPECT_NEAR(at25.dynamic_mw(), at50.dynamic_mw() / 2.0,
+                at50.dynamic_mw() * 0.05);
+    EXPECT_DOUBLE_EQ(at25.static_mw, at50.static_mw);
+}
+
+TEST(Estimator, ClockPowerGrowsWithSequentialCells) {
+    RoutedFixture few(PartName::XC3S200, 4);
+    RoutedFixture many(PartName::XC3S200, 24);
+    const auto act_few = few.activity(50e6);
+    const auto act_many = many.activity(50e6);
+    EXPECT_GT(estimate_power(many.routed, act_many, 50e6).clock_mw,
+              estimate_power(few.routed, act_few, 50e6).clock_mw);
+}
+
+TEST(Estimator, TopNetsSortedDescending) {
+    RoutedFixture r(PartName::XC3S200, 12);
+    const auto activity = r.activity(50e6);
+    const PowerReport report = estimate_power(r.routed, activity, 50e6, {}, 8);
+    ASSERT_GT(report.top_nets.size(), 1u);
+    for (std::size_t i = 1; i < report.top_nets.size(); ++i)
+        EXPECT_GE(report.top_nets[i - 1].power_uw, report.top_nets[i].power_uw);
+}
+
+TEST(Estimator, LogicPowerIsSumOfNets) {
+    RoutedFixture r;
+    const auto activity = r.activity(50e6);
+    const PowerReport report = estimate_power(r.routed, activity, 50e6);
+    double sum_uw = 0.0;
+    for (std::uint32_t i = 0; i < r.f.nl.net_count(); ++i)
+        sum_uw += par::switch_power_uw(r.routed.route(NetId{i}).capacitance_pf(),
+                                       activity.rate_hz(NetId{i}), 1.2);
+    EXPECT_NEAR(report.logic_mw, sum_uw * 1e-3, 1e-9);
+}
+
+TEST(Estimator, RenderMentionsAllBuckets) {
+    RoutedFixture r;
+    const auto activity = r.activity(50e6);
+    const std::string text = estimate_power(r.routed, activity, 50e6).render();
+    EXPECT_NE(text.find("static"), std::string::npos);
+    EXPECT_NE(text.find("clock"), std::string::npos);
+    EXPECT_NE(text.find("logic"), std::string::npos);
+    EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(Estimator, IdleDesignHasNoLogicPower) {
+    // No simulation cycles: activity all zero -> logic power 0, static remains.
+    Fixture f;
+    Device dev(PartName::XC3S200);
+    par::Placement placement(dev, f.nl, f.packed);
+    placement.place_initial();
+    par::RoutedDesign routed(placement, {});
+    routed.route_all(par::RouteMode::Performance);
+    const sim::ActivityMap idle(f.nl.net_count());
+    const PowerReport report = estimate_power(routed, idle, 50e6);
+    EXPECT_DOUBLE_EQ(report.logic_mw, 0.0);
+    EXPECT_GT(report.static_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace refpga::power

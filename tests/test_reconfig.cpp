@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "refpga/app/system.hpp"
+#include "refpga/netlist/builder.hpp"
+#include "refpga/reconfig/bitstream.hpp"
+#include "refpga/reconfig/busmacro.hpp"
+#include "refpga/reconfig/config_port.hpp"
+#include "refpga/reconfig/controller.hpp"
+#include "refpga/reconfig/scrubber.hpp"
+
+namespace refpga::reconfig {
+namespace {
+
+using fabric::Device;
+using fabric::PartName;
+using fabric::Region;
+
+// ---------------------------------------------------------------- bitstream
+
+TEST(Bitstream, FullDeviceMatchesCatalog) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream bs = Bitstream::full(dev, "full");
+    EXPECT_EQ(bs.bits, dev.part().config_bits);
+    EXPECT_TRUE(bs.full_device);
+}
+
+TEST(Bitstream, PartialScalesWithColumns) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream narrow = Bitstream::partial(dev, "m", 0, 4);
+    const Bitstream wide = Bitstream::partial(dev, "m", 0, 8);
+    EXPECT_EQ(wide.bits, 2 * narrow.bits);
+    EXPECT_LT(wide.bits, dev.full_bits());
+}
+
+TEST(Bitstream, ForRegionUsesWholeColumns) {
+    const Device dev(PartName::XC3S400);
+    // Frames span full height: a half-height region costs the same as the
+    // full-height column range.
+    const Bitstream half = Bitstream::for_region(dev, "m", Region{4, 8, 0, 10});
+    const Bitstream full_height = Bitstream::for_region(dev, "m", Region{4, 8, 0, dev.rows()});
+    EXPECT_EQ(half.bits, full_height.bits);
+}
+
+TEST(Bitstream, BytesRoundUp) {
+    Bitstream bs;
+    bs.bits = 9;
+    EXPECT_EQ(bs.bytes(), 2);
+}
+
+// ---------------------------------------------------------------- ports
+
+TEST(ConfigPorts, IcapFasterThanJcap) {
+    EXPECT_GT(icap_port().throughput_bps(), 10.0 * jcap_port().throughput_bps());
+}
+
+TEST(ConfigPorts, AcceleratedJcapFasterThanPlain) {
+    EXPECT_GT(jcap_accelerated_port().throughput_bps(), jcap_port().throughput_bps());
+}
+
+TEST(ConfigPorts, ConfigTimeMatchesThroughput) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream bs = Bitstream::partial(dev, "m", 0, 8);
+    const ConfigPortSpec port = jcap_port();
+    const double expected =
+        port.setup_s + static_cast<double>(bs.bits) / port.throughput_bps();
+    EXPECT_DOUBLE_EQ(port.config_time_s(bs), expected);
+    EXPECT_GT(port.config_energy_mj(bs), 0.0);
+}
+
+class PortOrdering : public ::testing::TestWithParam<PartName> {};
+
+// Partial reconfiguration must beat full reconfiguration on every part and
+// port: the whole point of module-wise swapping.
+TEST_P(PortOrdering, PartialBeatsFullOnEveryPort) {
+    const Device dev(GetParam());
+    const Bitstream partial = Bitstream::partial(dev, "m", 0, dev.cols() / 3);
+    const Bitstream full = Bitstream::full(dev, "full");
+    for (const ConfigPortSpec& port :
+         {icap_port(), selectmap_port(), jcap_port(), jcap_accelerated_port()})
+        EXPECT_LT(port.config_time_s(partial), port.config_time_s(full)) << port.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PortOrdering,
+                         ::testing::Values(PartName::XC3S200, PartName::XC3S400,
+                                           PartName::XC3S1000));
+
+// ---------------------------------------------------------------- controller
+
+class ControllerTest : public ::testing::Test {
+protected:
+    ControllerTest() : dev_(PartName::XC3S400), ctrl_(dev_, jcap_port()) {
+        ctrl_.add_slot("slot0", Region{18, 28, 0, dev_.rows()});
+        ctrl_.register_module("slot0", "amp_phase");
+        ctrl_.register_module("slot0", "capacity");
+    }
+    Device dev_;
+    ReconfigController ctrl_;
+};
+
+TEST_F(ControllerTest, LoadTakesTimeAndEnergy) {
+    const ReconfigEvent ev = ctrl_.load("slot0", "amp_phase");
+    EXPECT_FALSE(ev.skipped);
+    EXPECT_GT(ev.time_s, 0.0);
+    EXPECT_GT(ev.energy_mj, 0.0);
+    EXPECT_EQ(ev.bits, dev_.partial_bits(18, 28));
+    EXPECT_EQ(ctrl_.resident_module("slot0"), "amp_phase");
+}
+
+TEST_F(ControllerTest, ReloadingResidentModuleIsFree) {
+    (void)ctrl_.load("slot0", "amp_phase");
+    const ReconfigEvent ev = ctrl_.load("slot0", "amp_phase");
+    EXPECT_TRUE(ev.skipped);
+    EXPECT_EQ(ev.time_s, 0.0);
+    EXPECT_EQ(ctrl_.load_count(), 1);
+}
+
+TEST_F(ControllerTest, SwappingAccumulatesLedger) {
+    (void)ctrl_.load("slot0", "amp_phase");
+    (void)ctrl_.load("slot0", "capacity");
+    (void)ctrl_.load("slot0", "amp_phase");
+    EXPECT_EQ(ctrl_.load_count(), 3);
+    EXPECT_GT(ctrl_.total_time_s(), 0.0);
+    EXPECT_GT(ctrl_.total_energy_mj(), 0.0);
+    EXPECT_EQ(ctrl_.events().size(), 3u);
+}
+
+TEST_F(ControllerTest, UnknownSlotOrModuleRejected) {
+    EXPECT_THROW((void)ctrl_.load("nope", "amp_phase"), ContractViolation);
+    EXPECT_THROW((void)ctrl_.load("slot0", "unregistered"), ContractViolation);
+    EXPECT_THROW(ctrl_.register_module("nope", "m"), ContractViolation);
+}
+
+TEST_F(ControllerTest, OverlappingSlotsRejected) {
+    EXPECT_THROW(ctrl_.add_slot("slot1", Region{20, 24, 0, dev_.rows()}),
+                 ContractViolation);
+    EXPECT_NO_THROW(ctrl_.add_slot("slot1", Region{0, 6, 0, dev_.rows()}));
+}
+
+TEST_F(ControllerTest, SlowFlashPacesTransfer) {
+    FlashSpec slow;
+    slow.read_bps = 1e6;  // slower than the JCAP port
+    ReconfigController slow_ctrl(dev_, icap_port(), slow);
+    slow_ctrl.add_slot("s", Region{0, 6, 0, dev_.rows()});
+    slow_ctrl.register_module("s", "m");
+    const ReconfigEvent ev = slow_ctrl.load("s", "m");
+    const double flash_time = static_cast<double>(ev.bits) / slow.read_bps;
+    EXPECT_NEAR(ev.time_s, flash_time, flash_time * 0.01);
+}
+
+// ---------------------------------------------------------------- bus macros
+
+TEST(BusMacro, CrossPartitionWithoutMacroIsViolation) {
+    netlist::Netlist nl;
+    const auto clk = nl.add_input_port("clk", 1)[0];
+    netlist::Builder b(nl, clk);
+    const auto a = nl.add_input_port("a", 1);
+    const auto mod = nl.add_partition("mod");
+    const auto staged = b.not_(a[0]);  // static cell
+    nl.set_current_partition(mod);
+    (void)b.not_(staged);  // module cell fed directly from static: violation
+    const auto violations = check_boundaries(nl);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].from_partition, "static");
+    EXPECT_EQ(violations[0].to_partition, "mod");
+}
+
+TEST(BusMacro, MacroedCrossingIsClean) {
+    netlist::Netlist nl;
+    const auto clk = nl.add_input_port("clk", 1)[0];
+    netlist::Builder b(nl, clk);
+    const auto a = nl.add_input_port("a", 4);
+    const auto mod = nl.add_partition("mod");
+    const auto bridged =
+        bus_macro(b, a, netlist::PartitionId{0}, mod, "a_bridge");
+    nl.set_current_partition(mod);
+    nl.add_output_port("o", b.not_bus(bridged));
+    EXPECT_TRUE(check_boundaries(nl).empty());
+}
+
+TEST(BusMacro, FullSystemNetlistHasNoBoundaryViolations) {
+    // The complete measurement system (Fig. 2 architecture): every
+    // static<->module crossing must run through a bus macro.
+    const app::SystemNetlist sys = app::build_system_netlist({});
+    EXPECT_TRUE(check_boundaries(sys.nl).empty());
+}
+
+// ---------------------------------------------------------------- scrubber
+
+class ScrubberTest : public ::testing::Test {
+protected:
+    ScrubberTest() : dev_(PartName::XC3S400), memory_(dev_) {
+        memory_.load_columns(0, dev_.cols(), 0xDEADBEEFCAFEULL);
+    }
+    Device dev_;
+    ConfigMemory memory_;
+};
+
+TEST_F(ScrubberTest, CleanMemoryHasNoCorruption) {
+    EXPECT_EQ(memory_.corrupted_count(), 0);
+    Scrubber scrubber(memory_, jcap_port());
+    const ScrubReport report = scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(report.upsets_detected, 0);
+    EXPECT_EQ(report.columns_repaired, 0);
+    EXPECT_GT(report.readback_s, 0.0);
+    EXPECT_EQ(report.repair_s, 0.0);
+}
+
+TEST_F(ScrubberTest, DetectsAndRepairsInjectedUpset) {
+    Rng rng(13);
+    memory_.inject_upset(7, rng);
+    EXPECT_TRUE(memory_.column_corrupted(7));
+    EXPECT_EQ(memory_.corrupted_count(), 1);
+
+    Scrubber scrubber(memory_, jcap_port());
+    const ScrubReport report = scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(report.upsets_detected, 1);
+    EXPECT_EQ(report.columns_repaired, 1);
+    EXPECT_GT(report.repair_s, 0.0);
+    EXPECT_EQ(memory_.corrupted_count(), 0);  // recovered
+    EXPECT_FALSE(memory_.column_corrupted(7));
+}
+
+TEST_F(ScrubberTest, RepairRestoresExactGoldenContents) {
+    const std::uint64_t before = memory_.read_column(3);
+    Rng rng(5);
+    memory_.inject_upset(3, rng);
+    EXPECT_NE(memory_.read_column(3), before);
+    Scrubber scrubber(memory_, icap_port());
+    (void)scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(memory_.read_column(3), before);
+}
+
+TEST_F(ScrubberTest, SurvivesUpsetStorm) {
+    // Property: whatever the upset pattern, one scan restores every column
+    // that was ever loaded.
+    Rng rng(99);
+    for (int i = 0; i < 40; ++i)
+        memory_.inject_upset(static_cast<int>(rng.next_below(
+                                 static_cast<std::uint32_t>(dev_.cols()))),
+                             rng);
+    const int corrupted = memory_.corrupted_count();
+    EXPECT_GT(corrupted, 0);
+    Scrubber scrubber(memory_, jcap_accelerated_port());
+    const ScrubReport report = scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(report.upsets_detected, corrupted);
+    EXPECT_EQ(memory_.corrupted_count(), 0);
+}
+
+TEST_F(ScrubberTest, DoubleUpsetSameColumnMayCancelOrPersist) {
+    // Two upsets on the same bit cancel; the scrubber only reports columns
+    // that actually differ from golden.
+    Rng rng_a(4);
+    Rng rng_b(4);  // same seed: same bit
+    memory_.inject_upset(11, rng_a);
+    memory_.inject_upset(11, rng_b);
+    EXPECT_FALSE(memory_.column_corrupted(11));
+}
+
+TEST_F(ScrubberTest, ScanOnlyCoversRequestedColumns) {
+    Rng rng(2);
+    memory_.inject_upset(20, rng);
+    Scrubber scrubber(memory_, jcap_port());
+    const ScrubReport report = scrubber.scan(0, 10);  // upset is outside
+    EXPECT_EQ(report.upsets_detected, 0);
+    EXPECT_TRUE(memory_.column_corrupted(20));
+    EXPECT_EQ(report.columns_scanned, 10);
+}
+
+TEST_F(ScrubberTest, UnconfiguredColumnsAreIgnored) {
+    ConfigMemory fresh(dev_);
+    fresh.load_columns(0, 5, 1);
+    Rng rng(1);
+    // An upset in a never-configured column is not an error (nothing golden).
+    Scrubber scrubber(fresh, jcap_port());
+    const ScrubReport report = scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(report.upsets_detected, 0);
+}
+
+TEST(ScrubberLatency, FasterPortDetectsSooner) {
+    const Device dev(PartName::XC3S400);
+    const double jcap_latency = mean_detection_latency_s(dev, jcap_port(), 0.1);
+    const double icap_latency = mean_detection_latency_s(dev, icap_port(), 0.1);
+    EXPECT_GT(jcap_latency, icap_latency);
+    // Both are bounded below by half the scan period.
+    EXPECT_GE(icap_latency, 0.05);
+}
+
+class ScrubPortSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScrubPortSweep, FullScanFitsBetweenMeasurementCycles) {
+    // The scrubber can run in the idle time of the 100 ms measurement cycle
+    // on faster ports; on the plain JCAP a full-device scan exceeds it
+    // (which is why the paper's [11] acceleration matters).
+    const Device dev(PartName::XC3S400);
+    ConfigMemory memory(dev);
+    memory.load_columns(0, dev.cols(), 42);
+    const auto ports = {jcap_port(), jcap_accelerated_port(), icap_port()};
+    const auto& port = *(ports.begin() + GetParam());
+    Scrubber scrubber(memory, port);
+    const ScrubReport report = scrubber.scan(0, dev.cols());
+    if (port.name == "icap")
+        EXPECT_LT(report.total_s(), 0.1);
+    else
+        EXPECT_GT(report.total_s(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ports, ScrubPortSweep, ::testing::Values(0, 1, 2));
+
+TEST(BusMacro, RestoresBuilderPartition) {
+    netlist::Netlist nl;
+    const auto clk = nl.add_input_port("clk", 1)[0];
+    netlist::Builder b(nl, clk);
+    const auto a = nl.add_input_port("a", 1);
+    const auto mod = nl.add_partition("mod");
+    nl.set_current_partition(mod);
+    (void)bus_macro(b, a, netlist::PartitionId{0}, mod, "x");
+    EXPECT_EQ(nl.current_partition(), mod);
+}
+
+}  // namespace
+}  // namespace refpga::reconfig

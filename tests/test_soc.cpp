@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include "refpga/common/rng.hpp"
+#include "refpga/netlist/drc.hpp"
+#include "refpga/netlist/stats.hpp"
+#include "refpga/soc/assembler.hpp"
+#include "refpga/soc/cpu.hpp"
+#include "refpga/soc/fabric_macros.hpp"
+#include "refpga/soc/isa.hpp"
+#include "refpga/soc/memory.hpp"
+
+namespace refpga::soc {
+namespace {
+
+// ---------------------------------------------------------------- isa
+
+TEST(Isa, EncodeDecodeRoundTripRType) {
+    Instruction in;
+    in.op = Opcode::Add;
+    in.rd = 5;
+    in.ra = 10;
+    in.rb = 31;
+    const Instruction out = decode(encode(in));
+    EXPECT_EQ(out.op, Opcode::Add);
+    EXPECT_EQ(out.rd, 5);
+    EXPECT_EQ(out.ra, 10);
+    EXPECT_EQ(out.rb, 31);
+}
+
+TEST(Isa, EncodeDecodeRoundTripImmediate) {
+    Instruction in;
+    in.op = Opcode::Addi;
+    in.rd = 1;
+    in.ra = 2;
+    in.imm = -1234;
+    const Instruction out = decode(encode(in));
+    EXPECT_EQ(out.imm, -1234);
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+    for (int i = 0; i < kOpcodeCount; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto parsed = parse_mnemonic(mnemonic(op));
+        ASSERT_TRUE(parsed.has_value()) << mnemonic(op);
+        EXPECT_EQ(*parsed, op);
+    }
+    EXPECT_FALSE(parse_mnemonic("nop").has_value());
+}
+
+// ---------------------------------------------------------------- disassembler
+
+TEST(Disassembler, RendersCommonForms) {
+    Instruction add;
+    add.op = Opcode::Add;
+    add.rd = 3;
+    add.ra = 1;
+    add.rb = 2;
+    EXPECT_EQ(disassemble(encode(add)), "add  r3, r1, r2");
+
+    Instruction addi;
+    addi.op = Opcode::Addi;
+    addi.rd = 5;
+    addi.ra = 0;
+    addi.imm = -7;
+    EXPECT_EQ(disassemble(encode(addi)), "addi r5, r0, -7");
+
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    EXPECT_EQ(disassemble(encode(halt)), "halt");
+}
+
+TEST(Disassembler, BranchTargetsAreAbsolute) {
+    Instruction br;
+    br.op = Opcode::Br;
+    br.imm = 8;
+    EXPECT_EQ(disassemble(encode(br), 100), "br   112");
+}
+
+TEST(Disassembler, RoundTripsThroughAssembler) {
+    // Property: assemble(disassemble(word)) == word for a sweep of forms.
+    const std::vector<std::string> lines = {
+        "add  r1, r2, r3", "sub  r4, r5, r6",  "mul  r7, r8, r9",
+        "addi r1, r0, 42", "andi r2, r3, 255", "srai r4, r5, 3",
+        "lw   r6, r7, 16", "sw   r8, r9, -4",  "lui  r10, 4660",
+        "jr   r15",        "get  r1, 3",       "put  r2, 5",
+        "halt",
+    };
+    for (const auto& line : lines) {
+        const Program p = assemble(line + "\n");
+        ASSERT_EQ(p.words.size(), 1u) << line;
+        const std::uint32_t word = p.words.at(0);
+        const Program p2 = assemble(disassemble(word) + "\n");
+        EXPECT_EQ(p2.words.at(0), word) << line << " -> " << disassemble(word);
+    }
+}
+
+TEST(Disassembler, FirmwareListingIsReassemblable) {
+    // Disassemble the start of a real program and reassemble each line.
+    const Program p = assemble(R"(
+        addi r1, r0, 5
+        addi r2, r0, 0
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    for (const auto& [addr, word] : p.words) {
+        const std::string line = disassemble(word, addr);
+        // Re-assembling a branch needs its absolute target as a raw number;
+        // place the statement at the same address so offsets match.
+        const Program back = assemble("  .org " + std::to_string(addr) + "\n  " +
+                                      line + "\n");
+        EXPECT_EQ(back.words.at(addr), word) << line;
+    }
+}
+
+// ---------------------------------------------------------------- assembler
+
+TEST(Assembler, AssemblesSimpleProgram) {
+    const Program p = assemble("start:\n  addi r1, r0, 7\n  halt\n");
+    EXPECT_EQ(p.words.size(), 2u);
+    EXPECT_EQ(p.labels.at("start"), 0u);
+    EXPECT_EQ(p.size_bytes(), 8u);
+}
+
+TEST(Assembler, ForwardBranchResolves) {
+    const Program p = assemble(R"(
+        br done
+        addi r1, r0, 1
+    done:
+        halt
+    )");
+    const Instruction br = decode(p.words.at(0));
+    EXPECT_EQ(br.op, Opcode::Br);
+    EXPECT_EQ(br.imm, 4);  // skip one instruction
+}
+
+TEST(Assembler, HiLoSplitValues) {
+    const Program p = assemble("  lui r1, hi(2147614720)\n  ori r1, r1, lo(2147614720)\n  halt\n");
+    const Instruction lui = decode(p.words.at(0));
+    EXPECT_EQ(lui.imm & 0xFFFF, 0x8002);
+}
+
+TEST(Assembler, DirectivesWork) {
+    const Program p = assemble(R"(
+        .org 64
+    data:
+        .word 17, -3
+        .space 8
+    after:
+        halt
+    )");
+    EXPECT_EQ(p.labels.at("data"), 64u);
+    EXPECT_EQ(p.words.at(64), 17u);
+    EXPECT_EQ(p.words.at(68), static_cast<std::uint32_t>(-3));
+    EXPECT_EQ(p.labels.at("after"), 80u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+    const Program p = assemble("; full line comment\n\n  halt  # trailing\n");
+    EXPECT_EQ(p.words.size(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+    try {
+        (void)assemble("  halt\n  bogus r1, r2\n");
+        FAIL() << "should throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+    EXPECT_THROW((void)assemble("a:\n halt\na:\n halt\n"), ContractViolation);
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(Memory, RegionsAndLatencies) {
+    MemorySystem mem;
+    std::int64_t cycles = 0;
+    mem.write_word(0x100, 42, cycles);
+    EXPECT_EQ(mem.read_word(0x100, cycles), 42u);
+    mem.write_word(kSramBase + 0x10, 7, cycles);
+    EXPECT_EQ(mem.read_word(kSramBase + 0x10, cycles), 7u);
+    // 2 LMB accesses @1 + 2 SRAM accesses @5.
+    EXPECT_EQ(cycles, 2 * mem.config().lmb_latency + 2 * mem.config().sram_latency);
+}
+
+TEST(Memory, UartCollectsCharacters) {
+    MemorySystem mem;
+    std::int64_t cycles = 0;
+    mem.write_word(kUartTxAddr, 'h', cycles);
+    mem.write_word(kUartTxAddr, 'i', cycles);
+    EXPECT_EQ(mem.uart_output(), "hi");
+    EXPECT_EQ(mem.read_word(kUartStatusAddr, cycles), 1u);  // always ready
+}
+
+TEST(Memory, GpioReadback) {
+    MemorySystem mem;
+    std::int64_t cycles = 0;
+    mem.write_word(kGpioAddr, 0xA5, cycles);
+    EXPECT_EQ(mem.read_word(kGpioAddr, cycles), 0xA5u);
+    EXPECT_EQ(mem.gpio(), 0xA5u);
+}
+
+TEST(Memory, FetchLatencyByRegion) {
+    MemorySystem mem;
+    EXPECT_EQ(mem.fetch_latency(0x0), mem.config().lmb_latency);
+    EXPECT_EQ(mem.fetch_latency(kSramBase), mem.config().sram_latency);
+}
+
+TEST(Memory, MisalignedAccessRejected) {
+    MemorySystem mem;
+    std::int64_t cycles = 0;
+    EXPECT_THROW((void)mem.read_word(0x101, cycles), ContractViolation);
+}
+
+// ---------------------------------------------------------------- cpu
+
+struct Machine {
+    MemorySystem mem;
+    Cpu cpu{mem};
+
+    explicit Machine(const std::string& source, std::uint32_t start = 0) {
+        mem.load(assemble(source));
+        cpu.reset(start);
+    }
+
+    CpuState run() { return cpu.run(1'000'000); }
+};
+
+TEST(Cpu, ArithmeticAndHalt) {
+    Machine m(R"(
+        addi r1, r0, 21
+        add  r2, r1, r1
+        sub  r3, r2, r1
+        halt
+    )");
+    EXPECT_EQ(m.run(), CpuState::Halted);
+    EXPECT_EQ(m.cpu.reg(2), 42u);
+    EXPECT_EQ(m.cpu.reg(3), 21u);
+}
+
+TEST(Cpu, R0IsAlwaysZero) {
+    Machine m("  addi r0, r0, 99\n  halt\n");
+    m.run();
+    EXPECT_EQ(m.cpu.reg(0), 0u);
+}
+
+TEST(Cpu, MulAndMulh) {
+    Machine m(R"(
+        addi r1, r0, -3
+        addi r2, r0, 100
+        mul  r3, r1, r2
+        mulh r4, r1, r2
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(3)), -300);
+    EXPECT_EQ(m.cpu.reg(4), 0xFFFFFFFFu);  // sign extension of the high half
+}
+
+TEST(Cpu, ShiftsIncludingArithmetic) {
+    Machine m(R"(
+        addi r1, r0, -16
+        srai r2, r1, 2
+        srli r3, r1, 28
+        slli r4, r1, 1
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(2)), -4);
+    EXPECT_EQ(m.cpu.reg(3), 0xFu);
+    EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(4)), -32);
+}
+
+TEST(Cpu, LoadStoreRoundTrip) {
+    Machine m(R"(
+        addi r1, r0, 1234
+        sw   r1, r0, 256
+        lw   r2, r0, 256
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(m.cpu.reg(2), 1234u);
+}
+
+TEST(Cpu, LoopComputesTriangularNumber) {
+    Machine m(R"(
+        addi r1, r0, 0    ; sum
+        addi r2, r0, 1    ; i
+        addi r3, r0, 11   ; bound
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, 1
+        bne  r2, r3, loop
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(m.cpu.reg(1), 55u);
+}
+
+TEST(Cpu, SubroutineLinkAndReturn) {
+    Machine m(R"(
+        addi r1, r0, 5
+        brl  double
+        add  r4, r3, r0
+        halt
+    double:
+        add  r3, r1, r1
+        jr   r15
+    )");
+    m.run();
+    EXPECT_EQ(m.cpu.reg(4), 10u);
+}
+
+TEST(Cpu, SignedVsUnsignedBranches) {
+    Machine m(R"(
+        addi r1, r0, -1
+        addi r2, r0, 1
+        addi r3, r0, 0
+        addi r4, r0, 0
+        blt  r1, r2, signed_taken
+        addi r3, r0, 99
+    signed_taken:
+        bltu r1, r2, unsigned_taken
+        addi r4, r0, 1    ; executed: 0xFFFFFFFF is not < 1 unsigned
+    unsigned_taken:
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(m.cpu.reg(3), 0u);
+    EXPECT_EQ(m.cpu.reg(4), 1u);
+}
+
+TEST(Cpu, FslGetBlocksUntilDataArrives) {
+    Machine m("  get r1, 0\n  halt\n");
+    EXPECT_EQ(m.cpu.run(100), CpuState::BlockedOnFsl);
+    m.cpu.fsl_to_cpu(0).write(77);
+    EXPECT_EQ(m.run(), CpuState::Halted);
+    EXPECT_EQ(m.cpu.reg(1), 77u);
+}
+
+TEST(Cpu, FslPutDeliversToHardwareSide) {
+    Machine m("  addi r1, r0, 5\n  put r1, 2\n  halt\n");
+    m.run();
+    ASSERT_TRUE(m.cpu.fsl_from_cpu(2).can_read());
+    EXPECT_EQ(m.cpu.fsl_from_cpu(2).read(), 5u);
+}
+
+TEST(Cpu, UartHelloFromProgram) {
+    Machine m(R"(
+        lui  r1, hi(3221225472)
+        addi r2, r0, 72
+        sw   r2, r1, 0
+        addi r2, r0, 73
+        sw   r2, r1, 0
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(m.mem.uart_output(), "HI");
+}
+
+// The mechanism behind the paper's 7 ms software number: the same code is
+// materially slower when fetched from external SRAM than from LMB BRAM.
+TEST(Cpu, SramResidentCodeIsSlower) {
+    const std::string body = R"(
+        addi r1, r0, 0
+        addi r2, r0, 200
+    loop:
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt
+    )";
+    Machine fast(body, 0);
+    fast.run();
+
+    Machine slow("  .org 2147483648\n" + body, 0x80000000);
+    slow.run();
+
+    EXPECT_EQ(fast.cpu.reg(1), slow.cpu.reg(1));  // same result
+    EXPECT_GT(slow.cpu.cycles(), 3 * fast.cpu.cycles());
+}
+
+TEST(Cpu, CycleCountsChargeLoadLatency) {
+    Machine lmb("  lw r1, r0, 0\n  halt\n");
+    lmb.run();
+    // lw's imm16 cannot reach SRAM directly; use a register base.
+    Machine sram2(R"(
+        lui r2, hi(2147483648)
+        lw  r1, r2, 0
+        halt
+    )");
+    sram2.run();
+    EXPECT_GT(sram2.cpu.cycles(), lmb.cpu.cycles());
+}
+
+// ------------------------------------------------- randomized ALU property
+
+TEST(Cpu, RandomizedAluMatchesReference) {
+    // Load random operands via lui/ori, apply every R-type ALU op, and
+    // compare with native C++ arithmetic.
+    Rng rng(2718);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto a = static_cast<std::uint32_t>(rng.next_u64());
+        const auto b = static_cast<std::uint32_t>(rng.next_u64());
+        std::string src;
+        auto load = [&](const char* reg, std::uint32_t v) {
+            src += std::string("  lui ") + reg + ", " + std::to_string(v >> 16) + "\n";
+            src += std::string("  ori ") + reg + ", " + reg + ", " +
+                   std::to_string(v & 0xFFFF) + "\n";
+        };
+        load("r1", a);
+        load("r2", b);
+        src += "  add r3, r1, r2\n  sub r4, r1, r2\n  mul r5, r1, r2\n";
+        src += "  and r6, r1, r2\n  or r7, r1, r2\n  xor r8, r1, r2\n";
+        src += "  sll r9, r1, r2\n  srl r10, r1, r2\n  sra r11, r1, r2\n";
+        src += "  halt\n";
+        Machine m(src);
+        ASSERT_EQ(m.run(), CpuState::Halted);
+        EXPECT_EQ(m.cpu.reg(3), a + b);
+        EXPECT_EQ(m.cpu.reg(4), a - b);
+        EXPECT_EQ(m.cpu.reg(5), a * b);
+        EXPECT_EQ(m.cpu.reg(6), a & b);
+        EXPECT_EQ(m.cpu.reg(7), a | b);
+        EXPECT_EQ(m.cpu.reg(8), a ^ b);
+        EXPECT_EQ(m.cpu.reg(9), a << (b & 31));
+        EXPECT_EQ(m.cpu.reg(10), a >> (b & 31));
+        EXPECT_EQ(m.cpu.reg(11),
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                             (b & 31)));
+    }
+}
+
+// ---------------------------------------------------------------- fabric macros
+
+TEST(FabricMacros, BlobHitsSliceTarget) {
+    netlist::Netlist nl;
+    const auto clk = nl.add_input_port("clk", 1)[0];
+    netlist::Builder b(nl, clk);
+    (void)make_logic_blob(b, 100, "blob");
+    const auto stats = netlist::total_stats(nl);
+    EXPECT_EQ(stats.slices(), 100u);
+    EXPECT_TRUE(netlist::run_drc(nl).empty());
+}
+
+TEST(FabricMacros, StaticSoftIpBudgetsAddUp) {
+    netlist::Netlist nl;
+    const auto clk = nl.add_input_port("clk", 1)[0];
+    netlist::Builder b(nl, clk);
+    SoftIpBudgets budgets;
+    emit_static_soft_ip(b, budgets);
+    const auto stats = netlist::total_stats(nl);
+    EXPECT_EQ(static_cast<int>(stats.slices()), budgets.total());
+}
+
+}  // namespace
+}  // namespace refpga::soc
