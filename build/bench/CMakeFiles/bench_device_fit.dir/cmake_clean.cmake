@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_fit.dir/bench_device_fit.cpp.o"
+  "CMakeFiles/bench_device_fit.dir/bench_device_fit.cpp.o.d"
+  "bench_device_fit"
+  "bench_device_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sinusgen.dir/bench_fig3_sinusgen.cpp.o"
+  "CMakeFiles/bench_fig3_sinusgen.dir/bench_fig3_sinusgen.cpp.o.d"
+  "bench_fig3_sinusgen"
+  "bench_fig3_sinusgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sinusgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

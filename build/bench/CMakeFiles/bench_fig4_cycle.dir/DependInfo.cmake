@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_cycle.cpp" "bench/CMakeFiles/bench_fig4_cycle.dir/bench_fig4_cycle.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_cycle.dir/bench_fig4_cycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refpga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/refpga_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/refpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/refpga_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/refpga_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/refpga_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/refpga_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/refpga_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/refpga_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/refpga_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cycle.dir/bench_fig4_cycle.cpp.o"
+  "CMakeFiles/bench_fig4_cycle.dir/bench_fig4_cycle.cpp.o.d"
+  "bench_fig4_cycle"
+  "bench_fig4_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig_throughput.dir/bench_reconfig_throughput.cpp.o"
+  "CMakeFiles/bench_reconfig_throughput.dir/bench_reconfig_throughput.cpp.o.d"
+  "bench_reconfig_throughput"
+  "bench_reconfig_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

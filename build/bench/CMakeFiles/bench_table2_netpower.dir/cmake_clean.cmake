@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_netpower.dir/bench_table2_netpower.cpp.o"
+  "CMakeFiles/bench_table2_netpower.dir/bench_table2_netpower.cpp.o.d"
+  "bench_table2_netpower"
+  "bench_table2_netpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_netpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_measurement.dir/level_measurement.cpp.o"
+  "CMakeFiles/level_measurement.dir/level_measurement.cpp.o.d"
+  "level_measurement"
+  "level_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_reconfig.dir/partial_reconfig.cpp.o"
+  "CMakeFiles/partial_reconfig.dir/partial_reconfig.cpp.o.d"
+  "partial_reconfig"
+  "partial_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_optimization.dir/power_optimization.cpp.o"
+  "CMakeFiles/power_optimization.dir/power_optimization.cpp.o.d"
+  "power_optimization"
+  "power_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/delta_sigma.cpp" "src/analog/CMakeFiles/refpga_analog.dir/delta_sigma.cpp.o" "gcc" "src/analog/CMakeFiles/refpga_analog.dir/delta_sigma.cpp.o.d"
+  "/root/repo/src/analog/dsp.cpp" "src/analog/CMakeFiles/refpga_analog.dir/dsp.cpp.o" "gcc" "src/analog/CMakeFiles/refpga_analog.dir/dsp.cpp.o.d"
+  "/root/repo/src/analog/frontend.cpp" "src/analog/CMakeFiles/refpga_analog.dir/frontend.cpp.o" "gcc" "src/analog/CMakeFiles/refpga_analog.dir/frontend.cpp.o.d"
+  "/root/repo/src/analog/tank.cpp" "src/analog/CMakeFiles/refpga_analog.dir/tank.cpp.o" "gcc" "src/analog/CMakeFiles/refpga_analog.dir/tank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_analog.dir/delta_sigma.cpp.o"
+  "CMakeFiles/refpga_analog.dir/delta_sigma.cpp.o.d"
+  "CMakeFiles/refpga_analog.dir/dsp.cpp.o"
+  "CMakeFiles/refpga_analog.dir/dsp.cpp.o.d"
+  "CMakeFiles/refpga_analog.dir/frontend.cpp.o"
+  "CMakeFiles/refpga_analog.dir/frontend.cpp.o.d"
+  "CMakeFiles/refpga_analog.dir/tank.cpp.o"
+  "CMakeFiles/refpga_analog.dir/tank.cpp.o.d"
+  "librefpga_analog.a"
+  "librefpga_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_app.dir/golden.cpp.o"
+  "CMakeFiles/refpga_app.dir/golden.cpp.o.d"
+  "CMakeFiles/refpga_app.dir/hw_modules.cpp.o"
+  "CMakeFiles/refpga_app.dir/hw_modules.cpp.o.d"
+  "CMakeFiles/refpga_app.dir/software.cpp.o"
+  "CMakeFiles/refpga_app.dir/software.cpp.o.d"
+  "CMakeFiles/refpga_app.dir/system.cpp.o"
+  "CMakeFiles/refpga_app.dir/system.cpp.o.d"
+  "CMakeFiles/refpga_app.dir/tables.cpp.o"
+  "CMakeFiles/refpga_app.dir/tables.cpp.o.d"
+  "librefpga_app.a"
+  "librefpga_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

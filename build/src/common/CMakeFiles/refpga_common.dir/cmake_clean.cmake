@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_common.dir/log.cpp.o"
+  "CMakeFiles/refpga_common.dir/log.cpp.o.d"
+  "CMakeFiles/refpga_common.dir/table.cpp.o"
+  "CMakeFiles/refpga_common.dir/table.cpp.o.d"
+  "librefpga_common.a"
+  "librefpga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

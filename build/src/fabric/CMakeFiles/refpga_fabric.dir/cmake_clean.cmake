@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_fabric.dir/device.cpp.o"
+  "CMakeFiles/refpga_fabric.dir/device.cpp.o.d"
+  "CMakeFiles/refpga_fabric.dir/part_catalog.cpp.o"
+  "CMakeFiles/refpga_fabric.dir/part_catalog.cpp.o.d"
+  "CMakeFiles/refpga_fabric.dir/wire.cpp.o"
+  "CMakeFiles/refpga_fabric.dir/wire.cpp.o.d"
+  "librefpga_fabric.a"
+  "librefpga_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_netlist.dir/builder.cpp.o"
+  "CMakeFiles/refpga_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/refpga_netlist.dir/drc.cpp.o"
+  "CMakeFiles/refpga_netlist.dir/drc.cpp.o.d"
+  "CMakeFiles/refpga_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/refpga_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/refpga_netlist.dir/stats.cpp.o"
+  "CMakeFiles/refpga_netlist.dir/stats.cpp.o.d"
+  "librefpga_netlist.a"
+  "librefpga_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/pack.cpp" "src/par/CMakeFiles/refpga_par.dir/pack.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/pack.cpp.o.d"
+  "/root/repo/src/par/placement.cpp" "src/par/CMakeFiles/refpga_par.dir/placement.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/placement.cpp.o.d"
+  "/root/repo/src/par/placer.cpp" "src/par/CMakeFiles/refpga_par.dir/placer.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/placer.cpp.o.d"
+  "/root/repo/src/par/reallocate.cpp" "src/par/CMakeFiles/refpga_par.dir/reallocate.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/reallocate.cpp.o.d"
+  "/root/repo/src/par/router.cpp" "src/par/CMakeFiles/refpga_par.dir/router.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/router.cpp.o.d"
+  "/root/repo/src/par/timing.cpp" "src/par/CMakeFiles/refpga_par.dir/timing.cpp.o" "gcc" "src/par/CMakeFiles/refpga_par.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refpga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/refpga_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/refpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/refpga_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

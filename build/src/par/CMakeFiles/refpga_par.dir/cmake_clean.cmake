@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_par.dir/pack.cpp.o"
+  "CMakeFiles/refpga_par.dir/pack.cpp.o.d"
+  "CMakeFiles/refpga_par.dir/placement.cpp.o"
+  "CMakeFiles/refpga_par.dir/placement.cpp.o.d"
+  "CMakeFiles/refpga_par.dir/placer.cpp.o"
+  "CMakeFiles/refpga_par.dir/placer.cpp.o.d"
+  "CMakeFiles/refpga_par.dir/reallocate.cpp.o"
+  "CMakeFiles/refpga_par.dir/reallocate.cpp.o.d"
+  "CMakeFiles/refpga_par.dir/router.cpp.o"
+  "CMakeFiles/refpga_par.dir/router.cpp.o.d"
+  "CMakeFiles/refpga_par.dir/timing.cpp.o"
+  "CMakeFiles/refpga_par.dir/timing.cpp.o.d"
+  "librefpga_par.a"
+  "librefpga_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

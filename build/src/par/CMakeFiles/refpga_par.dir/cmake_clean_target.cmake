@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librefpga_par.a"
+)

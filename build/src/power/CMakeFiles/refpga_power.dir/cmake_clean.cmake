@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_power.dir/estimator.cpp.o"
+  "CMakeFiles/refpga_power.dir/estimator.cpp.o.d"
+  "librefpga_power.a"
+  "librefpga_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

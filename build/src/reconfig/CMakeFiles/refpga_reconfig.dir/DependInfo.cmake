@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/bitstream.cpp" "src/reconfig/CMakeFiles/refpga_reconfig.dir/bitstream.cpp.o" "gcc" "src/reconfig/CMakeFiles/refpga_reconfig.dir/bitstream.cpp.o.d"
+  "/root/repo/src/reconfig/busmacro.cpp" "src/reconfig/CMakeFiles/refpga_reconfig.dir/busmacro.cpp.o" "gcc" "src/reconfig/CMakeFiles/refpga_reconfig.dir/busmacro.cpp.o.d"
+  "/root/repo/src/reconfig/config_port.cpp" "src/reconfig/CMakeFiles/refpga_reconfig.dir/config_port.cpp.o" "gcc" "src/reconfig/CMakeFiles/refpga_reconfig.dir/config_port.cpp.o.d"
+  "/root/repo/src/reconfig/controller.cpp" "src/reconfig/CMakeFiles/refpga_reconfig.dir/controller.cpp.o" "gcc" "src/reconfig/CMakeFiles/refpga_reconfig.dir/controller.cpp.o.d"
+  "/root/repo/src/reconfig/scrubber.cpp" "src/reconfig/CMakeFiles/refpga_reconfig.dir/scrubber.cpp.o" "gcc" "src/reconfig/CMakeFiles/refpga_reconfig.dir/scrubber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refpga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/refpga_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/refpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/refpga_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/refpga_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

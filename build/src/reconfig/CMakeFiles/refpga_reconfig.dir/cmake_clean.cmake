@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_reconfig.dir/bitstream.cpp.o"
+  "CMakeFiles/refpga_reconfig.dir/bitstream.cpp.o.d"
+  "CMakeFiles/refpga_reconfig.dir/busmacro.cpp.o"
+  "CMakeFiles/refpga_reconfig.dir/busmacro.cpp.o.d"
+  "CMakeFiles/refpga_reconfig.dir/config_port.cpp.o"
+  "CMakeFiles/refpga_reconfig.dir/config_port.cpp.o.d"
+  "CMakeFiles/refpga_reconfig.dir/controller.cpp.o"
+  "CMakeFiles/refpga_reconfig.dir/controller.cpp.o.d"
+  "CMakeFiles/refpga_reconfig.dir/scrubber.cpp.o"
+  "CMakeFiles/refpga_reconfig.dir/scrubber.cpp.o.d"
+  "librefpga_reconfig.a"
+  "librefpga_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

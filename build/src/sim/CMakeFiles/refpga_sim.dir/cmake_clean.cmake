@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_sim.dir/activity.cpp.o"
+  "CMakeFiles/refpga_sim.dir/activity.cpp.o.d"
+  "CMakeFiles/refpga_sim.dir/simulator.cpp.o"
+  "CMakeFiles/refpga_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/refpga_sim.dir/vcd.cpp.o"
+  "CMakeFiles/refpga_sim.dir/vcd.cpp.o.d"
+  "librefpga_sim.a"
+  "librefpga_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/assembler.cpp" "src/soc/CMakeFiles/refpga_soc.dir/assembler.cpp.o" "gcc" "src/soc/CMakeFiles/refpga_soc.dir/assembler.cpp.o.d"
+  "/root/repo/src/soc/cpu.cpp" "src/soc/CMakeFiles/refpga_soc.dir/cpu.cpp.o" "gcc" "src/soc/CMakeFiles/refpga_soc.dir/cpu.cpp.o.d"
+  "/root/repo/src/soc/fabric_macros.cpp" "src/soc/CMakeFiles/refpga_soc.dir/fabric_macros.cpp.o" "gcc" "src/soc/CMakeFiles/refpga_soc.dir/fabric_macros.cpp.o.d"
+  "/root/repo/src/soc/isa.cpp" "src/soc/CMakeFiles/refpga_soc.dir/isa.cpp.o" "gcc" "src/soc/CMakeFiles/refpga_soc.dir/isa.cpp.o.d"
+  "/root/repo/src/soc/memory.cpp" "src/soc/CMakeFiles/refpga_soc.dir/memory.cpp.o" "gcc" "src/soc/CMakeFiles/refpga_soc.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refpga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/refpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/refpga_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refpga_soc.dir/assembler.cpp.o"
+  "CMakeFiles/refpga_soc.dir/assembler.cpp.o.d"
+  "CMakeFiles/refpga_soc.dir/cpu.cpp.o"
+  "CMakeFiles/refpga_soc.dir/cpu.cpp.o.d"
+  "CMakeFiles/refpga_soc.dir/fabric_macros.cpp.o"
+  "CMakeFiles/refpga_soc.dir/fabric_macros.cpp.o.d"
+  "CMakeFiles/refpga_soc.dir/isa.cpp.o"
+  "CMakeFiles/refpga_soc.dir/isa.cpp.o.d"
+  "CMakeFiles/refpga_soc.dir/memory.cpp.o"
+  "CMakeFiles/refpga_soc.dir/memory.cpp.o.d"
+  "librefpga_soc.a"
+  "librefpga_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refpga_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

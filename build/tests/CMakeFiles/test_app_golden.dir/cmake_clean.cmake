@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_golden.dir/test_app_golden.cpp.o"
+  "CMakeFiles/test_app_golden.dir/test_app_golden.cpp.o.d"
+  "test_app_golden"
+  "test_app_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_hw.dir/test_app_hw.cpp.o"
+  "CMakeFiles/test_app_hw.dir/test_app_hw.cpp.o.d"
+  "test_app_hw"
+  "test_app_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

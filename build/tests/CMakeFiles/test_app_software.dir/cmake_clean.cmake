@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_software.dir/test_app_software.cpp.o"
+  "CMakeFiles/test_app_software.dir/test_app_software.cpp.o.d"
+  "test_app_software"
+  "test_app_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fabric "/root/repo/build/tests/test_fabric")
+set_tests_properties(test_fabric PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netlist "/root/repo/build/tests/test_netlist")
+set_tests_properties(test_netlist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_par "/root/repo/build/tests/test_par")
+set_tests_properties(test_par PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_power "/root/repo/build/tests/test_power")
+set_tests_properties(test_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_reconfig "/root/repo/build/tests/test_reconfig")
+set_tests_properties(test_reconfig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_soc "/root/repo/build/tests/test_soc")
+set_tests_properties(test_soc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analog "/root/repo/build/tests/test_analog")
+set_tests_properties(test_analog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_app_golden "/root/repo/build/tests/test_app_golden")
+set_tests_properties(test_app_golden PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_app_hw "/root/repo/build/tests/test_app_hw")
+set_tests_properties(test_app_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_app_software "/root/repo/build/tests/test_app_software")
+set_tests_properties(test_app_software PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_system "/root/repo/build/tests/test_system")
+set_tests_properties(test_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;refpga_test;/root/repo/tests/CMakeLists.txt;0;")
