@@ -1,0 +1,128 @@
+// Fleet scaling — campaign throughput vs worker threads.
+//
+// Runs one fixed 24-scenario campaign (the test suite's acceptance sweep:
+// hardware variants x parts x JCAP ports x noise) at 1, 2, 4 and
+// hardware-concurrency threads and reports scenarios/sec plus the speedup
+// over the serial run. Scenarios are embarrassingly parallel — each owns its
+// MeasurementSystem — so throughput should track physical cores. The bench
+// also re-checks the determinism guarantee: the serial and widest-parallel
+// JSON reports must be byte-identical.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "refpga/common/table.hpp"
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/report.hpp"
+
+namespace {
+
+using namespace refpga;
+
+std::vector<fleet::Scenario> campaign_sweep() {
+    return fleet::SweepBuilder{}
+        .variants({app::SystemVariant::MonolithicHw,
+                   app::SystemVariant::ReconfiguredHw})
+        .parts({fabric::PartName::XC3S200, fabric::PartName::XC3S400,
+                fabric::PartName::XC3S1000})
+        .ports({fleet::PortKind::Jcap, fleet::PortKind::JcapAccelerated})
+        .noise_levels({1e-3, 5e-3})
+        .cycles(4)
+        .campaign_seed(2008)
+        .build();
+}
+
+void print_scaling() {
+    benchkit::print_header("Fleet", "campaign throughput vs worker threads");
+
+    const std::vector<fleet::Scenario> sweep = campaign_sweep();
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw < 1) hw = 1;
+    std::vector<int> thread_counts{1, 2, 4};
+    if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+        thread_counts.end())
+        thread_counts.push_back(hw);
+
+    std::string serial_json;
+    std::string widest_json;
+    double serial_rate = 0.0;
+    double rate_at_4 = 0.0;
+
+    Table table({"threads", "wall (s)", "scenarios/sec", "speedup vs 1"});
+    for (const int threads : thread_counts) {
+        const auto begin = std::chrono::steady_clock::now();
+        const fleet::CampaignResult result =
+            fleet::CampaignRunner({threads}).run(sweep);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+                .count();
+        const double rate = static_cast<double>(sweep.size()) / seconds;
+        if (threads == 1) {
+            serial_rate = rate;
+            serial_json = fleet::CampaignReport::from(result).render_json();
+        }
+        if (threads == 4) rate_at_4 = rate;
+        if (threads == thread_counts.back())
+            widest_json = fleet::CampaignReport::from(result).render_json();
+        table.add_row({std::to_string(threads), Table::num(seconds, 3),
+                       Table::num(rate, 2),
+                       Table::num(serial_rate > 0.0 ? rate / serial_rate : 1.0, 2) +
+                           "x"});
+    }
+    std::cout << table.render();
+    std::cout << "hardware concurrency: " << hw << " (speedup is bounded by "
+              << "physical cores; 4-thread target >1.5x needs >=2 cores)\n";
+    if (rate_at_4 > 0.0 && serial_rate > 0.0)
+        std::cout << "4-thread speedup: " << Table::num(rate_at_4 / serial_rate, 2)
+                  << "x\n";
+    std::cout << "serial vs parallel report byte-identical: "
+              << (serial_json == widest_json ? "yes" : "NO — DETERMINISM BUG")
+              << "\n";
+}
+
+void BM_SingleScenario(benchmark::State& state) {
+    std::vector<fleet::Scenario> sweep =
+        fleet::SweepBuilder{}
+            .variants({app::SystemVariant::ReconfiguredHw})
+            .cycles(2)
+            .build();
+    const fleet::CampaignRunner runner({1});
+    for (auto _ : state) {
+        auto result = runner.run(sweep);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SingleScenario)->Unit(benchmark::kMillisecond);
+
+void BM_SweepExpansion(benchmark::State& state) {
+    for (auto _ : state) {
+        auto sweep = campaign_sweep();
+        benchmark::DoNotOptimize(sweep);
+    }
+}
+BENCHMARK(BM_SweepExpansion);
+
+void BM_ReportRender(benchmark::State& state) {
+    const fleet::CampaignResult result =
+        fleet::CampaignRunner({1}).run(campaign_sweep());
+    const fleet::CampaignReport report = fleet::CampaignReport::from(result);
+    for (auto _ : state) {
+        auto json = report.render_json();
+        benchmark::DoNotOptimize(json);
+    }
+}
+BENCHMARK(BM_ReportRender);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_scaling();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -34,6 +34,8 @@ struct SystemOptions {
     reconfig::ConfigPortSpec port;                 ///< ReconfiguredHw only
     fabric::PartName part = fabric::PartName::XC3S400;
     bool use_ds_dac = true;                        ///< internal delta-sigma DAC
+    /// Tank output noise per channel (plant condition, swept by campaigns).
+    double tank_noise_rms_v = 1e-3;
     /// Settling windows discarded before the measured window (analog filters
     /// and the CIC need to charge up).
     int settle_windows = 2;
@@ -62,6 +64,9 @@ struct CycleReport {
     }
 };
 
+/// Thread-safety: a MeasurementSystem instance is confined to one thread at
+/// a time, but instances share no mutable state — distinct instances may run
+/// on distinct threads concurrently (refpga::fleet relies on this).
 class MeasurementSystem {
 public:
     explicit MeasurementSystem(SystemOptions options, std::uint64_t noise_seed = 7);

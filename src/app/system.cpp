@@ -18,7 +18,8 @@ SystemOptions::SystemOptions() : port(reconfig::jcap_port()) {}
 
 namespace {
 
-analog::FrontEndConfig frontend_config(const AppParams& params) {
+analog::FrontEndConfig frontend_config(const SystemOptions& options) {
+    const AppParams& params = options.params;
     analog::FrontEndConfig cfg;
     cfg.modulator_hz = params.modulator_hz;
     cfg.signal_hz = params.signal_hz;
@@ -26,6 +27,7 @@ analog::FrontEndConfig frontend_config(const AppParams& params) {
     cfg.tank.c_ref_pf = params.c_ref_pf;
     cfg.tank.c_empty_pf = params.c_empty_pf;
     cfg.tank.c_full_pf = params.c_full_pf;
+    cfg.tank.noise_rms_v = options.tank_noise_rms_v;
     return cfg;
 }
 
@@ -33,7 +35,7 @@ analog::FrontEndConfig frontend_config(const AppParams& params) {
 
 MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_seed)
     : options_(std::move(options)),
-      frontend_(frontend_config(options_.params), noise_seed),
+      frontend_(frontend_config(options_), noise_seed),
       sinusgen_(options_.params),
       filter_(options_.params),
       controller_(fabric::Device(options_.part), options_.port) {

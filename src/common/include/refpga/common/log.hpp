@@ -1,6 +1,11 @@
 // Minimal leveled logging to stderr.
 //
 // The library is quiet by default (Level::Warning); tools raise verbosity.
+//
+// Thread-safety: all functions here may be called from any thread. The
+// level is an atomic (set_log_level from one thread is visible to loggers on
+// others) and messages are emitted whole under an internal lock, so
+// concurrent log lines never interleave.
 #pragma once
 
 #include <sstream>

@@ -3,6 +3,11 @@
 // A thin wrapper over a SplitMix64/xoshiro256** pair so results are exactly
 // reproducible across platforms and standard-library versions (std::mt19937
 // distributions are not portable across implementations).
+//
+// Thread-safety: there is no global generator state anywhere in the library.
+// An Rng instance is not synchronized — confine it to one thread — but
+// independently seeded instances are fully isolated, which is what makes
+// per-scenario deterministic seeding (refpga::fleet) possible.
 #pragma once
 
 #include <cstdint>

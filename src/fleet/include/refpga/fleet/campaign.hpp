@@ -1,0 +1,94 @@
+// Campaign execution: many independent scenarios, optionally in parallel.
+//
+// Each scenario builds its own app::MeasurementSystem seeded from the
+// scenario descriptor and runs its fill trajectory end to end; the outcome
+// (accuracy, latency, power, reconfiguration overhead, device fit) lands in
+// a result slot owned by that scenario. A scenario that throws becomes a
+// failed record carrying the exception text — it never aborts the campaign.
+//
+// Determinism guarantee: outcomes depend only on the scenario descriptors
+// (which carry their own seeds), never on thread count or completion order,
+// so a campaign's report is byte-identical however it is scheduled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "refpga/fleet/scenario.hpp"
+
+namespace refpga::fleet {
+
+/// Measured results of one scenario (or its failure record).
+struct ScenarioOutcome {
+    Scenario scenario;
+    bool ok = false;
+    std::string error;  ///< exception text when !ok
+
+    // Accuracy over the fill trajectory (measured vs ground-truth level).
+    double level_error_mean = 0.0;
+    double level_error_max = 0.0;
+
+    // Schedule (Fig. 4) occupancy, averaged per cycle.
+    double cycle_busy_ms = 0.0;
+    double reconfig_ms_per_cycle = 0.0;
+
+    // Power model: part leakage + first-order clock tree of the resident
+    // logic + reconfiguration energy amortized over the cycle period.
+    double static_mw = 0.0;
+    double dynamic_mw = 0.0;
+    double reconfig_energy_mj = 0.0;
+
+    // Device fit of the variant's resident logic (with PAR headroom).
+    std::size_t resident_slices = 0;
+    std::string fitted_part;  ///< smallest part that fits; empty if none
+    bool device_fits = false; ///< resident logic fits the scenario's part
+
+    [[nodiscard]] double total_mw() const { return static_mw + dynamic_mw; }
+};
+
+struct CampaignResult {
+    std::vector<ScenarioOutcome> outcomes;  ///< same order as the input scenarios
+
+    [[nodiscard]] std::size_t failure_count() const {
+        std::size_t n = 0;
+        for (const ScenarioOutcome& o : outcomes)
+            if (!o.ok) ++n;
+        return n;
+    }
+};
+
+struct CampaignOptions {
+    /// Worker threads; 1 runs inline on the calling thread. The report is
+    /// identical either way (see determinism guarantee above).
+    int threads = 1;
+};
+
+/// Per-variant resident-logic demand, shared read-only by all scenarios of a
+/// campaign (computed once, before workers start).
+struct VariantFit {
+    std::size_t resident_slices = 0;
+    std::size_t with_headroom = 0;  ///< +7% PAR margin, as in bench_device_fit
+    std::size_t resident_ffs = 0;   ///< clock loads for the dynamic-power model
+    std::optional<fabric::PartName> fitted;
+};
+
+/// Resident slice/FF demand of a system variant (from the structural system
+/// netlist; Software keeps only the static area resident).
+[[nodiscard]] VariantFit variant_fit(app::SystemVariant variant);
+
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignOptions options = {});
+
+    [[nodiscard]] const CampaignOptions& options() const { return options_; }
+
+    /// Executes every scenario and returns outcomes in input order.
+    [[nodiscard]] CampaignResult run(const std::vector<Scenario>& scenarios) const;
+
+private:
+    CampaignOptions options_;
+};
+
+}  // namespace refpga::fleet

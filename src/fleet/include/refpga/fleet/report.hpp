@@ -1,0 +1,75 @@
+// Campaign aggregation: per-metric distribution summaries, overall and per
+// sweep axis, rendered as a text table and as machine-readable JSON.
+//
+// Both renderings are pure functions of the outcome list: scenario order is
+// the sweep order and all floats are formatted through one deterministic
+// path, so reports from the same campaign are byte-identical regardless of
+// the thread count that produced the outcomes. Wall-clock facts (thread
+// count, run time) are deliberately excluded from the report for the same
+// reason.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "refpga/fleet/campaign.hpp"
+
+namespace refpga::fleet {
+
+/// Distribution summary of one metric over the successful scenarios.
+struct MetricSummary {
+    double min = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    std::size_t count = 0;
+
+    /// Nearest-rank percentiles over `values` (order-insensitive).
+    [[nodiscard]] static MetricSummary of(std::vector<double> values);
+};
+
+/// Metric keys summarized by the report, in rendering order.
+[[nodiscard]] std::vector<std::string> report_metric_keys();
+
+/// Reads one metric off an outcome by key; throws ContractViolation on an
+/// unknown key.
+[[nodiscard]] double outcome_metric(const ScenarioOutcome& outcome,
+                                    std::string_view key);
+
+class CampaignReport {
+public:
+    /// One value of one sweep axis and the scenarios that carry it.
+    struct Group {
+        std::string axis;   ///< "variant" | "part" | "port" | "noise"
+        std::string value;
+        std::vector<std::size_t> indices;  ///< into outcomes(), sweep order
+        std::size_t failures = 0;
+    };
+
+    [[nodiscard]] static CampaignReport from(const CampaignResult& result);
+
+    [[nodiscard]] const std::vector<ScenarioOutcome>& outcomes() const {
+        return outcomes_;
+    }
+    [[nodiscard]] const std::vector<Group>& groups() const { return groups_; }
+    [[nodiscard]] std::size_t failure_count() const { return failures_; }
+
+    /// Summary of `key` over all successful scenarios.
+    [[nodiscard]] MetricSummary summary(std::string_view key) const;
+    /// Summary of `key` over one group's successful scenarios.
+    [[nodiscard]] MetricSummary group_summary(const Group& group,
+                                              std::string_view key) const;
+
+    [[nodiscard]] std::string render_text() const;
+    [[nodiscard]] std::string render_json() const;
+
+private:
+    std::vector<ScenarioOutcome> outcomes_;
+    std::vector<Group> groups_;
+    std::size_t failures_ = 0;
+};
+
+}  // namespace refpga::fleet

@@ -1,0 +1,91 @@
+// Measurement-campaign scenarios and deterministic sweep expansion.
+//
+// A Scenario pins down everything one end-to-end `app::MeasurementSystem`
+// run depends on: implementation variant, target part, configuration port,
+// tank noise, fill trajectory and the RNG seed for noise injection. A
+// SweepBuilder expands per-axis value lists into the full cartesian grid in
+// a fixed, documented order, and derives every scenario's seed from the
+// campaign seed and its grid index — so a campaign is fully reproducible
+// from (axes, campaign_seed) alone, independent of how it is later executed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "refpga/app/system.hpp"
+#include "refpga/fabric/part.hpp"
+#include "refpga/reconfig/config_port.hpp"
+
+namespace refpga::fleet {
+
+/// Configuration ports a scenario can sweep over (the §4.2/§5 trade-off).
+enum class PortKind { Jcap, JcapAccelerated, Icap, SelectMap };
+
+[[nodiscard]] const char* port_kind_name(PortKind kind);
+[[nodiscard]] reconfig::ConfigPortSpec make_port(PortKind kind);
+
+/// Linear tank-fill trajectory over a scenario's measurement cycles.
+struct FillProfile {
+    double start_level = 0.1;
+    double end_level = 0.9;
+
+    /// Ground-truth level at cycle `i` of `cycles` (clamp-free linear ramp).
+    [[nodiscard]] double level_at(int i, int cycles) const {
+        if (cycles <= 1) return start_level;
+        return start_level + (end_level - start_level) * i / (cycles - 1);
+    }
+
+    friend constexpr bool operator==(const FillProfile&, const FillProfile&) = default;
+};
+
+/// One independent measurement run. Scenarios share no state: each gets its
+/// own MeasurementSystem, so any subset may execute concurrently.
+struct Scenario {
+    std::string name;  ///< unique axis label, assigned by SweepBuilder
+    app::SystemVariant variant = app::SystemVariant::ReconfiguredHw;
+    fabric::PartName part = fabric::PartName::XC3S400;
+    PortKind port = PortKind::Jcap;
+    FillProfile fill;
+    double noise_rms_v = 1e-3;  ///< tank output noise per channel
+    int cycles = 8;             ///< measurement cycles to run
+    std::uint64_t seed = 0;     ///< per-scenario noise seed (set by SweepBuilder)
+};
+
+/// SplitMix64 mix of the campaign seed with a scenario's grid index. Pure
+/// function of its inputs: the seed a scenario receives never depends on
+/// thread count or execution order.
+[[nodiscard]] std::uint64_t scenario_seed(std::uint64_t campaign_seed,
+                                          std::uint64_t index);
+
+/// Expands axis value lists into the scenario grid.
+///
+/// Axes iterate in a fixed nesting order (variant outermost, then part,
+/// port, noise, fill), so the same axes always yield the same scenario
+/// sequence, names and seeds.
+class SweepBuilder {
+public:
+    SweepBuilder& variants(std::vector<app::SystemVariant> v);
+    SweepBuilder& parts(std::vector<fabric::PartName> v);
+    SweepBuilder& ports(std::vector<PortKind> v);
+    SweepBuilder& noise_levels(std::vector<double> v);
+    SweepBuilder& fills(std::vector<FillProfile> v);
+    SweepBuilder& cycles(int cycles);
+    SweepBuilder& campaign_seed(std::uint64_t seed);
+
+    /// Number of scenarios build() will produce.
+    [[nodiscard]] std::size_t grid_size() const;
+
+    [[nodiscard]] std::vector<Scenario> build() const;
+
+private:
+    std::vector<app::SystemVariant> variants_{app::SystemVariant::ReconfiguredHw};
+    std::vector<fabric::PartName> parts_{fabric::PartName::XC3S400};
+    std::vector<PortKind> ports_{PortKind::Jcap};
+    std::vector<double> noise_levels_{1e-3};
+    std::vector<FillProfile> fills_{FillProfile{}};
+    int cycles_ = 8;
+    std::uint64_t campaign_seed_ = 2008;
+};
+
+}  // namespace refpga::fleet

@@ -1,0 +1,251 @@
+#include "refpga/fleet/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/table.hpp"
+
+namespace refpga::fleet {
+
+MetricSummary MetricSummary::of(std::vector<double> values) {
+    MetricSummary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    const auto nearest_rank = [&](double q) {
+        const auto n = static_cast<double>(values.size());
+        auto idx = static_cast<std::size_t>(std::ceil(q * n));
+        if (idx > 0) --idx;
+        if (idx >= values.size()) idx = values.size() - 1;
+        return values[idx];
+    };
+    s.p50 = nearest_rank(0.50);
+    s.p95 = nearest_rank(0.95);
+    return s;
+}
+
+std::vector<std::string> report_metric_keys() {
+    return {"level_error_mean", "level_error_max",     "cycle_busy_ms",
+            "reconfig_ms_per_cycle", "reconfig_energy_mj", "static_mw",
+            "dynamic_mw",        "total_mw"};
+}
+
+double outcome_metric(const ScenarioOutcome& o, std::string_view key) {
+    if (key == "level_error_mean") return o.level_error_mean;
+    if (key == "level_error_max") return o.level_error_max;
+    if (key == "cycle_busy_ms") return o.cycle_busy_ms;
+    if (key == "reconfig_ms_per_cycle") return o.reconfig_ms_per_cycle;
+    if (key == "reconfig_energy_mj") return o.reconfig_energy_mj;
+    if (key == "static_mw") return o.static_mw;
+    if (key == "dynamic_mw") return o.dynamic_mw;
+    if (key == "total_mw") return o.total_mw();
+    REFPGA_EXPECTS(false && "unknown report metric key");
+    return 0.0;
+}
+
+namespace {
+
+/// One deterministic float-to-text path for every number in both renderings.
+std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string axis_value(const ScenarioOutcome& o, std::string_view axis) {
+    const Scenario& s = o.scenario;
+    if (axis == "variant") return app::variant_name(s.variant);
+    if (axis == "part") return std::string(fabric::part(s.part).id);
+    if (axis == "port") return port_kind_name(s.port);
+    if (axis == "noise") return fmt(s.noise_rms_v);
+    REFPGA_EXPECTS(false && "unknown sweep axis");
+    return {};
+}
+
+constexpr std::string_view kAxes[] = {"variant", "part", "port", "noise"};
+
+void append_summary_json(std::ostringstream& os, const MetricSummary& s) {
+    os << "{\"min\":" << fmt(s.min) << ",\"mean\":" << fmt(s.mean)
+       << ",\"max\":" << fmt(s.max) << ",\"p50\":" << fmt(s.p50)
+       << ",\"p95\":" << fmt(s.p95) << ",\"count\":" << s.count << "}";
+}
+
+}  // namespace
+
+CampaignReport CampaignReport::from(const CampaignResult& result) {
+    CampaignReport report;
+    report.outcomes_ = result.outcomes;
+    report.failures_ = result.failure_count();
+    for (const std::string_view axis : kAxes) {
+        for (std::size_t i = 0; i < report.outcomes_.size(); ++i) {
+            const std::string value = axis_value(report.outcomes_[i], axis);
+            auto it = std::find_if(report.groups_.begin(), report.groups_.end(),
+                                   [&](const Group& g) {
+                                       return g.axis == axis && g.value == value;
+                                   });
+            if (it == report.groups_.end()) {
+                report.groups_.push_back({std::string(axis), value, {}, 0});
+                it = report.groups_.end() - 1;
+            }
+            it->indices.push_back(i);
+            if (!report.outcomes_[i].ok) ++it->failures;
+        }
+    }
+    return report;
+}
+
+MetricSummary CampaignReport::summary(std::string_view key) const {
+    std::vector<double> values;
+    values.reserve(outcomes_.size());
+    for (const ScenarioOutcome& o : outcomes_)
+        if (o.ok) values.push_back(outcome_metric(o, key));
+    return MetricSummary::of(std::move(values));
+}
+
+MetricSummary CampaignReport::group_summary(const Group& group,
+                                            std::string_view key) const {
+    std::vector<double> values;
+    values.reserve(group.indices.size());
+    for (const std::size_t i : group.indices)
+        if (outcomes_[i].ok) values.push_back(outcome_metric(outcomes_[i], key));
+    return MetricSummary::of(std::move(values));
+}
+
+std::string CampaignReport::render_text() const {
+    std::ostringstream os;
+    os << "campaign: " << outcomes_.size() << " scenarios, "
+       << outcomes_.size() - failures_ << " ok, " << failures_ << " failed\n\n";
+
+    Table scenarios({"scenario", "status", "level err", "busy (ms)",
+                     "reconfig (ms/cyc)", "static (mW)", "dynamic (mW)",
+                     "fit part"});
+    for (const ScenarioOutcome& o : outcomes_) {
+        if (!o.ok) {
+            scenarios.add_row({o.scenario.name, "FAILED", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        scenarios.add_row({o.scenario.name, o.device_fits ? "ok" : "ok (no fit)",
+                           fmt(o.level_error_mean), Table::num(o.cycle_busy_ms, 3),
+                           Table::num(o.reconfig_ms_per_cycle, 3),
+                           Table::num(o.static_mw, 1), Table::num(o.dynamic_mw, 2),
+                           o.fitted_part.empty() ? "none" : o.fitted_part});
+    }
+    os << scenarios.render() << "\n";
+
+    if (failures_ > 0) {
+        os << "failures:\n";
+        for (const ScenarioOutcome& o : outcomes_)
+            if (!o.ok) os << "  " << o.scenario.name << ": " << o.error << "\n";
+        os << "\n";
+    }
+
+    Table summary_table({"metric", "min", "mean", "p50", "p95", "max"});
+    for (const std::string& key : report_metric_keys()) {
+        const MetricSummary s = summary(key);
+        summary_table.add_row({key, fmt(s.min), fmt(s.mean), fmt(s.p50), fmt(s.p95),
+                               fmt(s.max)});
+    }
+    os << "summary over successful scenarios:\n" << summary_table.render() << "\n";
+
+    Table by_axis({"axis", "value", "scenarios", "failed", "mean level err",
+                   "mean total (mW)"});
+    for (const Group& g : groups_) {
+        const MetricSummary err = group_summary(g, "level_error_mean");
+        const MetricSummary mw = group_summary(g, "total_mw");
+        by_axis.add_row({g.axis, g.value, std::to_string(g.indices.size()),
+                         std::to_string(g.failures), fmt(err.mean), fmt(mw.mean)});
+    }
+    os << "grouped by sweep axis:\n" << by_axis.render();
+    return os.str();
+}
+
+std::string CampaignReport::render_json() const {
+    std::ostringstream os;
+    os << "{\"campaign\":{\"scenario_count\":" << outcomes_.size()
+       << ",\"ok_count\":" << outcomes_.size() - failures_
+       << ",\"failure_count\":" << failures_ << "},\"scenarios\":[";
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        const ScenarioOutcome& o = outcomes_[i];
+        const Scenario& s = o.scenario;
+        if (i) os << ",";
+        os << "{\"name\":\"" << json_escape(s.name) << "\",\"variant\":\""
+           << app::variant_name(s.variant) << "\",\"part\":\""
+           << fabric::part(s.part).id << "\",\"port\":\"" << port_kind_name(s.port)
+           << "\",\"noise_rms_v\":" << fmt(s.noise_rms_v) << ",\"fill\":["
+           << fmt(s.fill.start_level) << "," << fmt(s.fill.end_level)
+           << "],\"cycles\":" << s.cycles << ",\"seed\":" << s.seed
+           << ",\"ok\":" << (o.ok ? "true" : "false");
+        if (!o.ok) {
+            os << ",\"error\":\"" << json_escape(o.error) << "\"}";
+            continue;
+        }
+        os << ",\"metrics\":{";
+        bool first = true;
+        for (const std::string& key : report_metric_keys()) {
+            if (!first) os << ",";
+            first = false;
+            os << "\"" << key << "\":" << fmt(outcome_metric(o, key));
+        }
+        os << "},\"resident_slices\":" << o.resident_slices << ",\"fitted_part\":\""
+           << json_escape(o.fitted_part)
+           << "\",\"device_fits\":" << (o.device_fits ? "true" : "false") << "}";
+    }
+    os << "],\"summary\":{";
+    bool first = true;
+    for (const std::string& key : report_metric_keys()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << key << "\":";
+        append_summary_json(os, summary(key));
+    }
+    os << "},\"groups\":[";
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const Group& group = groups_[g];
+        if (g) os << ",";
+        os << "{\"axis\":\"" << group.axis << "\",\"value\":\""
+           << json_escape(group.value) << "\",\"scenarios\":" << group.indices.size()
+           << ",\"failures\":" << group.failures << ",\"metrics\":{";
+        bool first_metric = true;
+        for (const std::string& key : report_metric_keys()) {
+            if (!first_metric) os << ",";
+            first_metric = false;
+            os << "\"" << key << "\":";
+            append_summary_json(os, group_summary(group, key));
+        }
+        os << "}}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace refpga::fleet

@@ -1,0 +1,124 @@
+#include "refpga/fleet/scenario.hpp"
+
+#include <cstdio>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga::fleet {
+
+const char* port_kind_name(PortKind kind) {
+    switch (kind) {
+        case PortKind::Jcap: return "jcap";
+        case PortKind::JcapAccelerated: return "jcap-acc";
+        case PortKind::Icap: return "icap";
+        case PortKind::SelectMap: return "selectmap";
+    }
+    return "?";
+}
+
+reconfig::ConfigPortSpec make_port(PortKind kind) {
+    switch (kind) {
+        case PortKind::Jcap: return reconfig::jcap_port();
+        case PortKind::JcapAccelerated: return reconfig::jcap_accelerated_port();
+        case PortKind::Icap: return reconfig::icap_port();
+        case PortKind::SelectMap: return reconfig::selectmap_port();
+    }
+    return reconfig::jcap_port();
+}
+
+std::uint64_t scenario_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+    // One SplitMix64 step over campaign_seed advanced by the grid index; the
+    // same expansion the Rng constructor uses to spread a seed into state.
+    std::uint64_t z = campaign_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+SweepBuilder& SweepBuilder::variants(std::vector<app::SystemVariant> v) {
+    REFPGA_EXPECTS(!v.empty());
+    variants_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::parts(std::vector<fabric::PartName> v) {
+    REFPGA_EXPECTS(!v.empty());
+    parts_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::ports(std::vector<PortKind> v) {
+    REFPGA_EXPECTS(!v.empty());
+    ports_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::noise_levels(std::vector<double> v) {
+    REFPGA_EXPECTS(!v.empty());
+    noise_levels_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::fills(std::vector<FillProfile> v) {
+    REFPGA_EXPECTS(!v.empty());
+    fills_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::cycles(int cycles) {
+    cycles_ = cycles;
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::campaign_seed(std::uint64_t seed) {
+    campaign_seed_ = seed;
+    return *this;
+}
+
+std::size_t SweepBuilder::grid_size() const {
+    return variants_.size() * parts_.size() * ports_.size() * noise_levels_.size() *
+           fills_.size();
+}
+
+namespace {
+
+std::string format_noise(double noise) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "n%.4g", noise);
+    return buf;
+}
+
+std::string format_fill(const FillProfile& fill) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "f%.2f-%.2f", fill.start_level, fill.end_level);
+    return buf;
+}
+
+}  // namespace
+
+std::vector<Scenario> SweepBuilder::build() const {
+    std::vector<Scenario> grid;
+    grid.reserve(grid_size());
+    for (const app::SystemVariant variant : variants_)
+        for (const fabric::PartName part : parts_)
+            for (const PortKind port : ports_)
+                for (const double noise : noise_levels_)
+                    for (const FillProfile& fill : fills_) {
+                        Scenario s;
+                        s.variant = variant;
+                        s.part = part;
+                        s.port = port;
+                        s.fill = fill;
+                        s.noise_rms_v = noise;
+                        s.cycles = cycles_;
+                        s.seed = scenario_seed(campaign_seed_, grid.size());
+                        s.name = std::string(app::variant_name(variant)) + "|" +
+                                 std::string(fabric::part(part).id) + "|" +
+                                 port_kind_name(port) + "|" + format_noise(noise) +
+                                 "|" + format_fill(fill);
+                        grid.push_back(std::move(s));
+                    }
+    return grid;
+}
+
+}  // namespace refpga::fleet

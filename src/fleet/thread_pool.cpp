@@ -1,0 +1,64 @@
+#include "refpga/fleet/thread_pool.hpp"
+
+#include <exception>
+
+#include "refpga/common/log.hpp"
+
+namespace refpga::fleet {
+
+ThreadPool::ThreadPool(int threads) {
+    const int count = threads < 1 ? 1 : threads;
+    workers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return queue_.empty() && active_jobs_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ with a drained queue
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_jobs_;
+        }
+        try {
+            job();
+        } catch (const std::exception& e) {
+            log_error("fleet: job escaped with exception: ", e.what());
+        } catch (...) {
+            log_error("fleet: job escaped with non-std exception");
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --active_jobs_;
+            if (queue_.empty() && active_jobs_ == 0) all_done_.notify_all();
+        }
+    }
+}
+
+}  // namespace refpga::fleet

@@ -41,6 +41,42 @@ TEST(Bitstream, ForRegionUsesWholeColumns) {
     EXPECT_EQ(half.bits, full_height.bits);
 }
 
+TEST(Bitstream, ZeroWidthColumnRangeRejected) {
+    const Device dev(PartName::XC3S400);
+    // Frames are column-granular: an empty range configures nothing and is a
+    // contract violation, not a zero-bit bitstream.
+    EXPECT_THROW((void)Bitstream::partial(dev, "m", 4, 4), ContractViolation);
+    EXPECT_THROW((void)Bitstream::partial(dev, "m", 0, 0), ContractViolation);
+    EXPECT_THROW((void)Bitstream::partial(dev, "m", 8, 4), ContractViolation);
+}
+
+TEST(Bitstream, LastColumnRangeIsOneColumn) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream last = Bitstream::partial(dev, "m", dev.cols() - 1, dev.cols());
+    EXPECT_EQ(last.bits, dev.bits_per_clb_column());
+    EXPECT_EQ(last.x_begin, dev.cols() - 1);
+    EXPECT_EQ(last.x_end, dev.cols());
+    EXPECT_FALSE(last.full_device);
+    // One past the device edge stays rejected.
+    EXPECT_THROW((void)Bitstream::partial(dev, "m", dev.cols(), dev.cols() + 1),
+                 ContractViolation);
+}
+
+TEST(Bitstream, AllColumnsPartialIsNotFullDevice) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream all_cols = Bitstream::partial(dev, "m", 0, dev.cols());
+    const Bitstream full = Bitstream::full(dev, "full");
+    // A partial bitstream over every CLB column still configures less than
+    // the full device: IOB/GCLK/BRAM columns only appear in the full
+    // bitstream (Device::kExtraConfigColumns).
+    EXPECT_EQ(all_cols.bits, dev.bits_per_clb_column() * dev.cols());
+    EXPECT_LT(all_cols.bits, full.bits);
+    EXPECT_FALSE(all_cols.full_device);
+    EXPECT_TRUE(full.full_device);
+    EXPECT_EQ(all_cols.x_begin, full.x_begin);
+    EXPECT_EQ(all_cols.x_end, full.x_end);
+}
+
 TEST(Bitstream, BytesRoundUp) {
     Bitstream bs;
     bs.bits = 9;
