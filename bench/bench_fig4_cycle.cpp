@@ -41,6 +41,7 @@ void print_schedule(const reconfig::ConfigPortSpec& port) {
               << " ms cycle (sampling " << Table::num(report.sampling_s * 1e3, 2)
               << " + reconfig " << Table::num(report.reconfig_s * 1e3, 2)
               << " + processing " << Table::num(report.processing_s * 1e3, 4)
+              << " + scrub " << Table::num((report.scrub_s + report.repair_s) * 1e3, 2)
               << "); fits: " << (report.busy_s() < 0.1 ? "yes" : "NO") << "\n";
     std::cout << "measured level: " << Table::num(report.level, 3)
               << " (true 0.550)\n";

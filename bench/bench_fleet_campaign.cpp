@@ -57,7 +57,7 @@ void print_scaling() {
     for (const int threads : thread_counts) {
         const auto begin = std::chrono::steady_clock::now();
         const fleet::CampaignResult result =
-            fleet::CampaignRunner({threads}).run(sweep);
+            fleet::CampaignRunner(threads).run(sweep);
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
                 .count();
@@ -91,7 +91,7 @@ void BM_SingleScenario(benchmark::State& state) {
             .variants({app::SystemVariant::ReconfiguredHw})
             .cycles(2)
             .build();
-    const fleet::CampaignRunner runner({1});
+    const fleet::CampaignRunner runner(1);
     for (auto _ : state) {
         auto result = runner.run(sweep);
         benchmark::DoNotOptimize(result);
@@ -109,7 +109,7 @@ BENCHMARK(BM_SweepExpansion);
 
 void BM_ReportRender(benchmark::State& state) {
     const fleet::CampaignResult result =
-        fleet::CampaignRunner({1}).run(campaign_sweep());
+        fleet::CampaignRunner(1).run(campaign_sweep());
     const fleet::CampaignReport report = fleet::CampaignReport::from(result);
     for (auto _ : state) {
         auto json = report.render_json();

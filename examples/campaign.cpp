@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
                   << ")\n\n";
 
     const fleet::CampaignResult result =
-        fleet::CampaignRunner({threads}).run(sweep);
+        fleet::CampaignRunner(threads).run(sweep);
     const fleet::CampaignReport report = fleet::CampaignReport::from(result);
     std::cout << (json ? report.render_json() : report.render_text()) << "\n";
     return result.failure_count() == 0 ? 0 : 1;

@@ -9,6 +9,8 @@
 //                    the configuration port (the paper's final system)
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,8 +19,10 @@
 #include "refpga/app/hw_modules.hpp"
 #include "refpga/app/params.hpp"
 #include "refpga/app/software.hpp"
+#include "refpga/fault/fault.hpp"
 #include "refpga/netlist/netlist.hpp"
 #include "refpga/reconfig/controller.hpp"
+#include "refpga/reconfig/scrubber.hpp"
 #include "refpga/soc/fabric_macros.hpp"
 
 namespace refpga::app {
@@ -40,6 +44,24 @@ struct SystemOptions {
     /// and the CIC need to charge up).
     int settle_windows = 2;
 
+    /// Fault environment (refpga::fault). The default all-zero spec injects
+    /// nothing and the results stay bit-identical to the fault-free system;
+    /// verify-after-write readback on loads is armed only when the spec
+    /// injects faults, so the paper's Fig. 4 numbers are untouched.
+    fault::FaultSpec fault;
+    /// Extra load attempts when verification or the flash fetch fails.
+    int load_max_retries = 2;
+    /// Fraction of the cycle's idle window donated to readback scrubbing
+    /// (Fig. 4 leaves ~29 ms idle per 100 ms cycle on the JCAP system).
+    double scrub_idle_fraction = 0.5;
+    /// Plausibility guard (armed, like load verification, only when `fault`
+    /// injects something): largest credible level change per cycle. A larger
+    /// jump holds the last-good value instead (counted as a rejection).
+    double max_level_jump = 0.25;
+    /// Consecutive rejections after which the guard yields — a persistent
+    /// "implausible" reading is a real step change, not a transient fault.
+    int plausibility_patience = 2;
+
     SystemOptions();
 };
 
@@ -58,9 +80,18 @@ struct CycleReport {
     double sampling_s = 0.0;
     double processing_s = 0.0;
     double reconfig_s = 0.0;
+    double scrub_s = 0.0;   ///< readback scrubbing in the idle window
+    double repair_s = 0.0;  ///< column rewrites for detected upsets
+
+    // Self-healing outcome of this cycle.
+    int upsets_detected = 0;
+    int columns_repaired = 0;
+    bool plausibility_rejected = false;  ///< level held at last-good value
+    bool fallback = false;  ///< served by the resident software path
+    bool fabric_corrupted = false;  ///< processed while columns were bad
 
     [[nodiscard]] double busy_s() const {
-        return sampling_s + processing_s + reconfig_s;
+        return sampling_s + processing_s + reconfig_s + scrub_s + repair_s;
     }
 };
 
@@ -70,6 +101,11 @@ struct CycleReport {
 class MeasurementSystem {
 public:
     explicit MeasurementSystem(SystemOptions options, std::uint64_t noise_seed = 7);
+
+    // The configuration memory and scrubber hold references into this
+    // object, so it is pinned to its construction address.
+    MeasurementSystem(const MeasurementSystem&) = delete;
+    MeasurementSystem& operator=(const MeasurementSystem&) = delete;
 
     [[nodiscard]] const SystemOptions& options() const { return options_; }
 
@@ -84,17 +120,43 @@ public:
     [[nodiscard]] const reconfig::ReconfigController& controller() const {
         return controller_;
     }
+    [[nodiscard]] const reconfig::ConfigMemory& config_memory() const {
+        return config_mem_;
+    }
+    [[nodiscard]] const fault::FaultStats& fault_stats() const { return stats_; }
     [[nodiscard]] long cycles_run() const { return cycles_run_; }
 
 private:
     void collect_window(std::vector<std::int32_t>& meas, std::vector<std::int32_t>& ref);
+    void inject_upsets_until(double t_s);
+    void apply_glitch(const fault::Glitch& glitch, std::vector<std::int32_t>& meas,
+                      std::vector<std::int32_t>& ref);
+    [[nodiscard]] double level_candidate(std::uint32_t cap_pf_q4) const;
+    [[nodiscard]] double fallback_processing_s(
+        const std::vector<std::int32_t>& meas, const std::vector<std::int32_t>& ref);
+    void run_scrub_phase(CycleReport& report, double cycle_start_s, double& t);
 
     SystemOptions options_;
     analog::FrontEnd frontend_;
     SinusGenModel sinusgen_;
     golden::FilterState filter_;
+    fabric::Device device_;
     reconfig::ReconfigController controller_;
+    reconfig::ConfigMemory config_mem_;  // references device_
+    reconfig::Scrubber scrubber_;        // references config_mem_
+    fault::FaultPlan plan_;
+    fault::FaultStats stats_;
     long cycles_run_ = 0;
+
+    // Self-healing state.
+    std::map<int, double> pending_upsets_;  ///< column -> earliest hit time
+    int scrub_cursor_ = 0;
+    bool have_last_good_ = false;
+    double last_good_candidate_ = 0.0;
+    golden::CapacityResult last_good_cap_{};
+    golden::FilterState::Output last_good_level_{};
+    int reject_streak_ = 0;
+    std::optional<double> fallback_s_;  ///< cached software-path timing
 };
 
 /// Structural netlist of the complete system, partitioned into the static

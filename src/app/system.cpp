@@ -1,5 +1,9 @@
 #include "refpga/app/system.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
 #include "refpga/common/contracts.hpp"
 #include "refpga/reconfig/busmacro.hpp"
 
@@ -31,6 +35,13 @@ analog::FrontEndConfig frontend_config(const SystemOptions& options) {
     return cfg;
 }
 
+// Content signature of the power-up (full-device) configuration.
+constexpr std::uint64_t kStaticSignature = 0x5e1f0c0def417a11ULL;
+
+// Stuck-bit pattern a corrupted fabric imprints on the capacity word; always
+// large enough (>= 170 pF) to trip the plausibility guard's default jump.
+constexpr std::uint32_t kFabricCorruptMask = 0x2AAA;
+
 }  // namespace
 
 MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_seed)
@@ -38,16 +49,45 @@ MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_
       frontend_(frontend_config(options_), noise_seed),
       sinusgen_(options_.params),
       filter_(options_.params),
-      controller_(fabric::Device(options_.part), options_.port) {
+      device_(options_.part),
+      controller_(device_, options_.port),
+      config_mem_(device_),
+      scrubber_(config_mem_, options_.port),
+      // Fault schedule seeded independently of the analog noise stream.
+      plan_(options_.fault, device_.cols(), noise_seed ^ 0xFA17005EED5EED01ULL) {
+    REFPGA_EXPECTS(options_.scrub_idle_fraction >= 0.0 &&
+                   options_.scrub_idle_fraction <= 1.0);
+    REFPGA_EXPECTS(options_.max_level_jump > 0.0);
+    REFPGA_EXPECTS(options_.plausibility_patience >= 1);
+    REFPGA_EXPECTS(options_.load_max_retries >= 0);
+
+    // Power-up configures the whole device; from then on every column is
+    // covered by readback scrubbing.
+    config_mem_.load_columns(0, device_.cols(), kStaticSignature);
+    controller_.attach_memory(&config_mem_);
+
+    if (options_.fault.any()) {
+        // Self-healing mode: loads verify their own readback and retry.
+        reconfig::LoadPolicy policy;
+        policy.verify_after_write = true;
+        policy.max_retries = options_.load_max_retries;
+        controller_.set_load_policy(policy);
+        if (options_.fault.load_corruption_prob > 0.0 ||
+            options_.fault.flash_error_prob > 0.0)
+            controller_.set_load_fault_hook(
+                [this](const std::string&, const std::string&, int) {
+                    return plan_.next_load_fault();
+                });
+    }
+
     if (options_.variant == SystemVariant::ReconfiguredHw) {
         // One reconfigurable slot sized for the largest module (Fig. 2);
         // geometry refined by the floorplanning benches — here the slot only
         // needs a column range for bitstream sizing. A third of the device
         // matches the measured module sizes on the XC3S400.
-        const fabric::Device dev(options_.part);
-        const int slot_cols = dev.cols() / 3;
-        controller_.add_slot("slot0", {dev.cols() - slot_cols, dev.cols(), 0,
-                                       dev.rows()});
+        const int slot_cols = device_.cols() / 3;
+        controller_.add_slot("slot0", {device_.cols() - slot_cols, device_.cols(),
+                                       0, device_.rows()});
         controller_.register_module("slot0", "amp_phase");
         controller_.register_module("slot0", "capacity");
         controller_.register_module("slot0", "filter");
@@ -82,28 +122,147 @@ void MeasurementSystem::collect_window(std::vector<std::int32_t>& meas,
     }
 }
 
+void MeasurementSystem::inject_upsets_until(double t_s) {
+    for (const fault::UpsetEvent& upset : plan_.upsets_until(t_s)) {
+        config_mem_.inject_upset(upset.column, plan_.bit_rng());
+        ++stats_.upsets_injected;
+        // Latency is measured from the first hit on a column; repeats in the
+        // same column before the scrubber gets there are folded into it.
+        pending_upsets_.emplace(upset.column, upset.at_s);
+    }
+}
+
+void MeasurementSystem::apply_glitch(const fault::Glitch& glitch,
+                                     std::vector<std::int32_t>& meas,
+                                     std::vector<std::int32_t>& ref) {
+    if (glitch.kind == fault::GlitchKind::None) return;
+    std::vector<std::int32_t>& ch = glitch.on_reference ? ref : meas;
+    if (ch.empty()) return;
+    ++stats_.glitches_injected;
+    if (glitch.kind == fault::GlitchKind::StuckChannel) {
+        // The front-end output froze at its first sample of the window.
+        std::fill(ch.begin(), ch.end(), ch.front());
+        return;
+    }
+    // Spiking channel: periodic impulses scaled to the channel's own level.
+    std::int64_t abs_sum = 0;
+    for (const std::int32_t v : ch) abs_sum += std::abs(static_cast<long>(v));
+    const auto spike = static_cast<std::int32_t>(
+        10 * abs_sum / static_cast<std::int64_t>(ch.size()) + 1000);
+    for (std::size_t i = 0; i < ch.size(); i += 16)
+        ch[i] += (i % 32 == 0) ? spike : -spike;
+}
+
+double MeasurementSystem::level_candidate(std::uint32_t cap_pf_q4) const {
+    const AppParams& p = options_.params;
+    const double cap_pf = static_cast<double>(cap_pf_q4) / 16.0;
+    const double span = p.c_full_pf - p.c_empty_pf;
+    return std::clamp((cap_pf - p.c_empty_pf) / span, 0.0, 1.0);
+}
+
+double MeasurementSystem::fallback_processing_s(
+    const std::vector<std::int32_t>& meas, const std::vector<std::int32_t>& ref) {
+    // The resident software path always runs the same pipeline over the same
+    // window size, so its cycle count is window-invariant: simulate it once
+    // and reuse the timing.
+    if (!fallback_s_) {
+        const SoftwareRun run =
+            run_software_cycle(meas, ref, options_.params, options_.software);
+        fallback_s_ = run.seconds(options_.params.system_clock_hz);
+    }
+    return *fallback_s_;
+}
+
+void MeasurementSystem::run_scrub_phase(CycleReport& report, double cycle_start_s,
+                                        double& t) {
+    const AppParams& p = options_.params;
+    // Columns that fit into the donated share of this cycle's idle window;
+    // at least one per cycle so the cursor always advances.
+    const double column_s = static_cast<double>(device_.bits_per_clb_column()) /
+                            options_.port.throughput_bps();
+    const double idle_s = std::max(0.0, p.cycle_period_s - t);
+    int columns = static_cast<int>(options_.scrub_idle_fraction * idle_s / column_s);
+    columns = std::clamp(columns, 1, device_.cols());
+    const int x_begin = scrub_cursor_;
+    const int x_end = std::min(x_begin + columns, device_.cols());
+
+    // Pending upsets inside the scanned range are about to be detected.
+    std::vector<double> due_at_s;
+    for (const auto& [column, at_s] : pending_upsets_)
+        if (column >= x_begin && column < x_end && config_mem_.column_corrupted(column))
+            due_at_s.push_back(at_s);
+
+    const reconfig::ScrubReport scrub = scrubber_.scan(x_begin, x_end);
+    scrub_cursor_ = x_end >= device_.cols() ? 0 : x_end;
+
+    report.upsets_detected = scrub.upsets_detected;
+    report.columns_repaired = scrub.columns_repaired;
+    report.scrub_s = scrub.readback_s;
+    report.repair_s = scrub.repair_s;
+    stats_.upsets_detected += scrub.upsets_detected;
+    stats_.columns_repaired += scrub.columns_repaired;
+    stats_.scrub_s += scrub.readback_s;
+    stats_.repair_s += scrub.repair_s;
+
+    report.phases.push_back({"config scrub (idle window)", t, scrub.readback_s});
+    t += scrub.readback_s;
+    const double detect_s = cycle_start_s + t;
+    if (scrub.repair_s > 0.0) {
+        report.phases.push_back({"config repair (golden rewrite)", t, scrub.repair_s});
+        t += scrub.repair_s;
+    }
+    const double repair_done_s = cycle_start_s + t;
+
+    for (const double at_s : due_at_s) {
+        stats_.detect_latency_sum_s += detect_s - at_s;
+        ++stats_.detect_latency_count;
+        stats_.repair_latency_sum_s += repair_done_s - at_s;
+        ++stats_.repair_latency_count;
+    }
+    // Scanned columns are settled: detected ones were just repaired, the
+    // rest were overwritten by a module load in the meantime.
+    std::erase_if(pending_upsets_, [&](const auto& entry) {
+        return entry.first >= x_begin && entry.first < x_end;
+    });
+}
+
 CycleReport MeasurementSystem::run_cycle() {
     const AppParams& p = options_.params;
     CycleReport report;
     double t = 0.0;
+    const double cycle_start_s =
+        static_cast<double>(cycles_run_) * p.cycle_period_s;
 
     // --- Phase 1: AD conversion of the measurement/reference signals --------
     std::vector<std::int32_t> meas;
     std::vector<std::int32_t> ref;
     collect_window(meas, ref);
+    apply_glitch(plan_.next_glitch(), meas, ref);
     report.sampling_s = static_cast<double>(p.window * (1 + options_.settle_windows)) /
                         p.pcm_rate_hz();
     report.phases.push_back({"AD conversion (sample window)", t, report.sampling_s});
     t += report.sampling_s;
+    // Upsets land in real time: everything due by the end of sampling is in
+    // the fabric before processing starts.
+    inject_upsets_until(cycle_start_s + t);
 
-    auto add_reconfig = [&](const char* module) {
-        if (options_.variant != SystemVariant::ReconfiguredHw) return;
+    auto add_reconfig = [&](const char* module) -> bool {
+        if (options_.variant != SystemVariant::ReconfiguredHw) return true;
         const reconfig::ReconfigEvent ev = controller_.load("slot0", module);
+        stats_.load_retries += std::max(0, ev.attempts - 1);
         if (ev.time_s > 0.0) {
-            report.phases.push_back({std::string("reconfig: ") + module, t, ev.time_s});
+            std::string label = std::string("reconfig: ") + module;
+            if (ev.attempts > 1)
+                label += " (+" + std::to_string(ev.attempts - 1) + " retry)";
+            report.phases.push_back({std::move(label), t, ev.time_s});
             report.reconfig_s += ev.time_s;
             t += ev.time_s;
         }
+        if (ev.failed) {
+            ++stats_.load_failures;
+            return false;
+        }
+        return true;
     };
     auto add_processing = [&](const char* name, double seconds) {
         report.phases.push_back({name, t, seconds});
@@ -111,6 +270,8 @@ CycleReport MeasurementSystem::run_cycle() {
         t += seconds;
     };
 
+    golden::CapacityResult cap_raw;
+    bool filter_in_hw = false;
     if (options_.variant == SystemVariant::Software) {
         // The MicroBlaze executes the full pipeline from the sample buffers.
         const SoftwareRun run =
@@ -119,32 +280,94 @@ CycleReport MeasurementSystem::run_cycle() {
                        run.seconds(p.system_clock_hz));
         report.result.meas = {run.amp_meas, run.phase_meas};
         report.result.ref = {run.amp_ref, run.phase_ref};
-        report.result.cap.ratio_q12 = run.ratio_q12;
-        report.result.cap.cap_pf_q4 = run.cap_pf_q4;
+        cap_raw.ratio_q12 = run.ratio_q12;
+        cap_raw.cap_pf_q4 = run.cap_pf_q4;
         report.result.level.level_q15 = run.level_q15;
     } else {
         // Hardware modules replay the buffered window at the system clock:
         // N cycles of streaming MAC, then the combinational tail registered
         // over a handful of cycles per stage.
         const golden::WindowAccumulators acc = golden::accumulate_window(meas, ref, p);
-        add_reconfig("amp_phase");
-        report.result.meas = golden::amp_phase(acc.i_meas, acc.q_meas, p);
-        report.result.ref = golden::amp_phase(acc.i_ref, acc.q_ref, p);
-        add_processing("amplitude & phase (HW module)",
-                       static_cast<double>(p.window + 4) / p.system_clock_hz);
-
-        add_reconfig("capacity");
-        report.result.cap = golden::capacity(report.result.meas, report.result.ref, p);
-        add_processing("capacity computation (HW module)", 4.0 / p.system_clock_hz);
-
-        add_reconfig("filter");
-        report.result.level = filter_.step(report.result.cap.cap_pf_q4);
-        add_processing("filter & level (HW module)", 4.0 / p.system_clock_hz);
+        bool hw_ok = add_reconfig("amp_phase");
+        if (hw_ok) {
+            report.result.meas = golden::amp_phase(acc.i_meas, acc.q_meas, p);
+            report.result.ref = golden::amp_phase(acc.i_ref, acc.q_ref, p);
+            add_processing("amplitude & phase (HW module)",
+                           static_cast<double>(p.window + 4) / p.system_clock_hz);
+            hw_ok = add_reconfig("capacity");
+        }
+        if (hw_ok) {
+            cap_raw = golden::capacity(report.result.meas, report.result.ref, p);
+            add_processing("capacity computation (HW module)", 4.0 / p.system_clock_hz);
+            hw_ok = add_reconfig("filter");
+        }
+        if (hw_ok) {
+            filter_in_hw = true;
+        } else {
+            // Graceful degradation: the slot is Failed, so the resident
+            // software path (MicroBlaze) serves the cycle instead of
+            // aborting it.
+            report.fallback = true;
+            ++stats_.fallback_cycles;
+            report.result.meas = golden::amp_phase(acc.i_meas, acc.q_meas, p);
+            report.result.ref = golden::amp_phase(acc.i_ref, acc.q_ref, p);
+            cap_raw = golden::capacity(report.result.meas, report.result.ref, p);
+            add_processing("fallback: software pipeline (slot failed)",
+                           fallback_processing_s(meas, ref));
+        }
     }
+
+    // --- Fabric-corruption oracle + plausibility guard ----------------------
+    if (config_mem_.corrupted_count() > 0) {
+        // A corrupted frame upstream of the result staging garbles the
+        // capacity word with a stuck-bit pattern.
+        cap_raw.cap_pf_q4 = (cap_raw.cap_pf_q4 ^ kFabricCorruptMask) & 0xFFFF;
+        report.fabric_corrupted = true;
+        ++stats_.corrupted_cycles;
+    }
+
+    // The plausibility guard (like load verification) is armed only in
+    // self-healing mode: on a fault-free system it would veto legitimate
+    // steep fill ramps and change the paper's baseline results.
+    const double candidate = level_candidate(cap_raw.cap_pf_q4);
+    if (options_.fault.any() && have_last_good_ &&
+        std::abs(candidate - last_good_candidate_) > options_.max_level_jump &&
+        reject_streak_ < options_.plausibility_patience) {
+        // Implausible jump: hold the last-good value. After `patience`
+        // consecutive rejections the new reading wins — a persistent change
+        // is a real step, not a transient fault.
+        ++reject_streak_;
+        ++stats_.rejected_cycles;
+        report.plausibility_rejected = true;
+    } else {
+        reject_streak_ = 0;
+    }
+
+    report.result.cap = report.plausibility_rejected ? last_good_cap_ : cap_raw;
+    if (options_.variant == SystemVariant::Software) {
+        if (report.plausibility_rejected) report.result.level = last_good_level_;
+    } else {
+        report.result.level = filter_.step(report.result.cap.cap_pf_q4);
+        if (filter_in_hw)
+            add_processing("filter & level (HW module)", 4.0 / p.system_clock_hz);
+    }
+    if (!report.plausibility_rejected) {
+        have_last_good_ = true;
+        last_good_candidate_ = candidate;
+        last_good_cap_ = report.result.cap;
+        last_good_level_ = report.result.level;
+    }
+
+    // --- Readback scrubbing in the remaining idle window --------------------
+    inject_upsets_until(cycle_start_s + t);
+    run_scrub_phase(report, cycle_start_s, t);
 
     report.level = static_cast<double>(report.result.level.level_q15) / 32768.0;
     report.capacitance_pf = static_cast<double>(report.result.cap.cap_pf_q4) / 16.0;
     ++cycles_run_;
+    ++stats_.cycles;
+    if (report.fallback || report.plausibility_rejected || report.fabric_corrupted)
+        ++stats_.degraded_cycles;
     return report;
 }
 

@@ -1,0 +1,153 @@
+// Deterministic, seed-driven fault injection for the self-healing pipeline.
+//
+// The paper motivates FPGAs for this application with upcoming requirements
+// on "failure detection and recovery" (§1, §5); on SRAM FPGAs the partial
+// reconfiguration machinery that saves power (§4.2) doubles as the repair
+// path for configuration upsets. A FaultPlan schedules every modelled fault
+// source from independent RNG streams derived from one per-scenario seed:
+//
+//   - configuration-SRAM upsets, Poisson at a rate per column-second
+//   - config-port transfer corruption (a load lands with a wrong signature)
+//   - flash read errors (the bitstream fetch fails its CRC)
+//   - analog front-end glitches (a tank channel stuck or spiking)
+//
+// Determinism contract: a plan is a pure function of (spec, columns, seed).
+// Fault categories draw from separate streams, so e.g. raising the upset
+// rate never shifts which loads get corrupted. An all-zero spec draws no
+// entropy at all — the fault layer is then a strict no-op and every result
+// stays bit-identical to the fault-free system (refpga::fleet relies on
+// this for its thread-count-independent reports).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refpga/common/rng.hpp"
+
+namespace refpga::fault {
+
+/// Fault environment of one scenario. All rates/probabilities default to
+/// zero: the default spec injects nothing.
+struct FaultSpec {
+    /// Configuration-SRAM upset rate, events per CLB-column-second (Poisson).
+    double upset_rate_per_column_s = 0.0;
+    /// Probability that one configuration-load attempt lands corrupted.
+    double load_corruption_prob = 0.0;
+    /// Probability that one bitstream fetch from flash fails its CRC.
+    double flash_error_prob = 0.0;
+    /// Probability that a measurement cycle's analog window is glitched.
+    double glitch_prob_per_cycle = 0.0;
+
+    [[nodiscard]] bool any() const {
+        return upset_rate_per_column_s > 0.0 || load_corruption_prob > 0.0 ||
+               flash_error_prob > 0.0 || glitch_prob_per_cycle > 0.0;
+    }
+
+    friend constexpr bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// One scheduled configuration upset.
+struct UpsetEvent {
+    double at_s = 0.0;  ///< absolute simulation time of the hit
+    int column = 0;     ///< CLB column struck
+};
+
+/// Faults afflicting one configuration-load attempt.
+struct LoadFault {
+    bool flash_error = false;       ///< fetch aborts at the flash CRC check
+    bool corrupt_transfer = false;  ///< transfer completes but lands wrong
+
+    [[nodiscard]] bool any() const { return flash_error || corrupt_transfer; }
+};
+
+/// Analog front-end glitch afflicting one cycle's sample window.
+enum class GlitchKind { None, StuckChannel, SpikingChannel };
+
+struct Glitch {
+    GlitchKind kind = GlitchKind::None;
+    bool on_reference = false;  ///< which tank channel is afflicted
+};
+
+/// Per-scenario fault schedule. Not thread-safe; confine to one thread like
+/// the MeasurementSystem that owns it.
+class FaultPlan {
+public:
+    /// `columns` is the device width upsets are spread over (must be > 0).
+    FaultPlan(FaultSpec spec, int columns, std::uint64_t seed);
+
+    [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+    [[nodiscard]] int columns() const { return columns_; }
+
+    /// Consumes and returns every upset scheduled strictly before `t_s`
+    /// (absolute time, monotonically increasing calls). Times ascend.
+    [[nodiscard]] std::vector<UpsetEvent> upsets_until(double t_s);
+
+    /// Draws the fault outcome of the next configuration-load attempt.
+    [[nodiscard]] LoadFault next_load_fault();
+
+    /// Draws the glitch outcome of the next measurement cycle.
+    [[nodiscard]] Glitch next_glitch();
+
+    /// Stream for upset bit selection (ConfigMemory::inject_upset).
+    [[nodiscard]] Rng& bit_rng() { return bit_rng_; }
+
+private:
+    [[nodiscard]] double draw_interarrival_s();
+
+    FaultSpec spec_;
+    int columns_;
+    Rng upset_rng_;   ///< arrival times and column choice
+    Rng load_rng_;    ///< flash/transfer fault outcomes
+    Rng glitch_rng_;  ///< analog glitch outcomes
+    Rng bit_rng_;     ///< which configuration bit an upset flips
+    double next_upset_s_;  ///< +inf when the upset rate is zero
+};
+
+/// Running tally of injected faults and the system's response, kept by
+/// app::MeasurementSystem and harvested into fleet::ScenarioOutcome.
+struct FaultStats {
+    long cycles = 0;
+    long upsets_injected = 0;
+    long upsets_detected = 0;   ///< found by readback scrubbing
+    long columns_repaired = 0;  ///< rewritten from the golden store
+    long glitches_injected = 0;
+    long load_retries = 0;      ///< extra transfer attempts beyond the first
+    long load_failures = 0;     ///< loads that exhausted their retry budget
+    long rejected_cycles = 0;   ///< plausibility guard held last-good value
+    long fallback_cycles = 0;   ///< served by the resident software path
+    long corrupted_cycles = 0;  ///< processed while fabric columns were bad
+    long degraded_cycles = 0;   ///< any of the three conditions above
+
+    double scrub_s = 0.0;   ///< cumulative readback time
+    double repair_s = 0.0;  ///< cumulative column-rewrite time
+
+    // Detect/repair latency, summed over upsets the scrubber found.
+    double detect_latency_sum_s = 0.0;
+    long detect_latency_count = 0;
+    double repair_latency_sum_s = 0.0;
+    long repair_latency_count = 0;
+
+    /// Fraction of cycles that delivered an undegraded measurement (the
+    /// oracle view: a cycle counts as unavailable when it fell back to
+    /// software, was vetoed by the plausibility guard, or was processed on
+    /// corrupted fabric).
+    [[nodiscard]] double availability() const {
+        if (cycles == 0) return 1.0;
+        return 1.0 - static_cast<double>(degraded_cycles) /
+                         static_cast<double>(cycles);
+    }
+
+    [[nodiscard]] double mean_time_to_detect_s() const {
+        return detect_latency_count == 0
+                   ? 0.0
+                   : detect_latency_sum_s / static_cast<double>(detect_latency_count);
+    }
+
+    [[nodiscard]] double mean_time_to_repair_s() const {
+        return repair_latency_count == 0
+                   ? 0.0
+                   : repair_latency_sum_s / static_cast<double>(repair_latency_count);
+    }
+};
+
+}  // namespace refpga::fault

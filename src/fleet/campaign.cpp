@@ -73,10 +73,12 @@ VariantFit variant_fit(app::SystemVariant variant) {
 
 namespace {
 
-ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits) {
+ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits,
+                        const CampaignOptions& campaign) {
     ScenarioOutcome o;
     o.scenario = s;
     try {
+        if (campaign.scenario_probe) campaign.scenario_probe(s);
         REFPGA_EXPECTS(s.cycles > 0);
         REFPGA_EXPECTS(s.noise_rms_v >= 0.0);
         REFPGA_EXPECTS(s.fill.start_level >= 0.0 && s.fill.start_level <= 1.0);
@@ -87,6 +89,7 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         options.part = s.part;
         options.port = make_port(s.port);
         options.tank_noise_rms_v = s.noise_rms_v;
+        options.fault = s.fault;
         app::MeasurementSystem system(options, s.seed);
 
         // Accuracy uses the per-cycle capacitance estimate inverted to a
@@ -118,6 +121,19 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         o.reconfig_ms_per_cycle = ctrl.total_time_s() / s.cycles * 1e3;
         o.reconfig_energy_mj = ctrl.total_energy_mj();
 
+        const fault::FaultStats& fs = system.fault_stats();
+        o.upsets_injected = fs.upsets_injected;
+        o.upsets_detected = fs.upsets_detected;
+        o.columns_repaired = fs.columns_repaired;
+        o.load_retries = fs.load_retries;
+        o.load_failures = fs.load_failures;
+        o.rejected_cycles = fs.rejected_cycles;
+        o.fallback_cycles = fs.fallback_cycles;
+        o.availability = fs.availability();
+        o.mttd_ms = fs.mean_time_to_detect_s() * 1e3;
+        o.mttr_ms = fs.mean_time_to_repair_s() * 1e3;
+        o.scrub_ms_per_cycle = (fs.scrub_s + fs.repair_s) / s.cycles * 1e3;
+
         const fabric::Part& part = fabric::part(s.part);
         const VariantFit& fit = fits[static_cast<std::size_t>(s.variant)];
         o.resident_slices = fit.with_headroom;
@@ -140,6 +156,11 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
     } catch (const std::exception& e) {
         o.ok = false;
         o.error = e.what();
+    } catch (...) {
+        // A non-standard throw still becomes a failure record instead of
+        // escaping into the worker thread and taking the campaign down.
+        o.ok = false;
+        o.error = "non-standard exception";
     }
     return o;
 }
@@ -161,15 +182,15 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) const
     result.outcomes.resize(scenarios.size());
     if (options_.threads <= 1) {
         for (std::size_t i = 0; i < scenarios.size(); ++i)
-            result.outcomes[i] = run_one(scenarios[i], fits);
+            result.outcomes[i] = run_one(scenarios[i], fits, options_);
         return result;
     }
 
     ThreadPool pool(options_.threads);
     for (std::size_t i = 0; i < scenarios.size(); ++i)
-        pool.submit([&scenarios, &result, &fits, i] {
+        pool.submit([&scenarios, &result, &fits, i, this] {
             // Each job writes only its own slot: no synchronization needed.
-            result.outcomes[i] = run_one(scenarios[i], fits);
+            result.outcomes[i] = run_one(scenarios[i], fits, options_);
         });
     pool.wait_idle();
     return result;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,19 @@ struct ScenarioOutcome {
     std::string fitted_part;  ///< smallest part that fits; empty if none
     bool device_fits = false; ///< resident logic fits the scenario's part
 
+    // Fault injection and the self-healing response (refpga::fault).
+    long upsets_injected = 0;
+    long upsets_detected = 0;
+    long columns_repaired = 0;
+    long load_retries = 0;
+    long load_failures = 0;
+    long rejected_cycles = 0;   ///< plausibility guard held last-good value
+    long fallback_cycles = 0;   ///< served by the resident software path
+    double availability = 1.0;  ///< fraction of undegraded cycles
+    double mttd_ms = 0.0;       ///< mean time to detect an upset
+    double mttr_ms = 0.0;       ///< mean time to repair an upset
+    double scrub_ms_per_cycle = 0.0;  ///< readback + repair time per cycle
+
     [[nodiscard]] double total_mw() const { return static_mw + dynamic_mw; }
 };
 
@@ -63,6 +77,13 @@ struct CampaignOptions {
     /// Worker threads; 1 runs inline on the calling thread. The report is
     /// identical either way (see determinism guarantee above).
     int threads = 1;
+    /// Test instrumentation: invoked inside each scenario's try-block before
+    /// its system is built, so tests can exercise failure isolation
+    /// (including non-std::exception throws). Empty in production use.
+    std::function<void(const Scenario&)> scenario_probe;
+
+    CampaignOptions() = default;
+    CampaignOptions(int threads_) : threads(threads_) {}  // NOLINT: {N} spells a thread count
 };
 
 /// Per-variant resident-logic demand, shared read-only by all scenarios of a

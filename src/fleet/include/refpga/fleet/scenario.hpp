@@ -15,6 +15,7 @@
 
 #include "refpga/app/system.hpp"
 #include "refpga/fabric/part.hpp"
+#include "refpga/fault/fault.hpp"
 #include "refpga/reconfig/config_port.hpp"
 
 namespace refpga::fleet {
@@ -48,6 +49,9 @@ struct Scenario {
     PortKind port = PortKind::Jcap;
     FillProfile fill;
     double noise_rms_v = 1e-3;  ///< tank output noise per channel
+    /// Fault environment (upset rate is the swept axis; the other knobs come
+    /// from SweepBuilder::fault_defaults). Default: no faults.
+    fault::FaultSpec fault;
     int cycles = 8;             ///< measurement cycles to run
     std::uint64_t seed = 0;     ///< per-scenario noise seed (set by SweepBuilder)
 };
@@ -61,14 +65,19 @@ struct Scenario {
 /// Expands axis value lists into the scenario grid.
 ///
 /// Axes iterate in a fixed nesting order (variant outermost, then part,
-/// port, noise, fill), so the same axes always yield the same scenario
-/// sequence, names and seeds.
+/// port, noise, upset rate, fill), so the same axes always yield the same
+/// scenario sequence, names and seeds.
 class SweepBuilder {
 public:
     SweepBuilder& variants(std::vector<app::SystemVariant> v);
     SweepBuilder& parts(std::vector<fabric::PartName> v);
     SweepBuilder& ports(std::vector<PortKind> v);
     SweepBuilder& noise_levels(std::vector<double> v);
+    /// Configuration-upset rates (per column-second) to sweep. Default {0}.
+    SweepBuilder& upset_rates(std::vector<double> v);
+    /// Non-axis fault knobs (load corruption, flash errors, glitches) applied
+    /// to every scenario; the swept upset rate overrides its field.
+    SweepBuilder& fault_defaults(fault::FaultSpec spec);
     SweepBuilder& fills(std::vector<FillProfile> v);
     SweepBuilder& cycles(int cycles);
     SweepBuilder& campaign_seed(std::uint64_t seed);
@@ -83,6 +92,8 @@ private:
     std::vector<fabric::PartName> parts_{fabric::PartName::XC3S400};
     std::vector<PortKind> ports_{PortKind::Jcap};
     std::vector<double> noise_levels_{1e-3};
+    std::vector<double> upset_rates_{0.0};
+    fault::FaultSpec fault_defaults_;
     std::vector<FillProfile> fills_{FillProfile{}};
     int cycles_ = 8;
     std::uint64_t campaign_seed_ = 2008;

@@ -35,7 +35,10 @@ MetricSummary MetricSummary::of(std::vector<double> values) {
 std::vector<std::string> report_metric_keys() {
     return {"level_error_mean", "level_error_max",     "cycle_busy_ms",
             "reconfig_ms_per_cycle", "reconfig_energy_mj", "static_mw",
-            "dynamic_mw",        "total_mw"};
+            "dynamic_mw",        "total_mw",           "availability",
+            "scrub_ms_per_cycle", "mttd_ms",           "mttr_ms",
+            "upsets_injected",   "upsets_detected",    "columns_repaired",
+            "load_retries",      "fallback_cycles",    "rejected_cycles"};
 }
 
 double outcome_metric(const ScenarioOutcome& o, std::string_view key) {
@@ -47,6 +50,16 @@ double outcome_metric(const ScenarioOutcome& o, std::string_view key) {
     if (key == "static_mw") return o.static_mw;
     if (key == "dynamic_mw") return o.dynamic_mw;
     if (key == "total_mw") return o.total_mw();
+    if (key == "availability") return o.availability;
+    if (key == "scrub_ms_per_cycle") return o.scrub_ms_per_cycle;
+    if (key == "mttd_ms") return o.mttd_ms;
+    if (key == "mttr_ms") return o.mttr_ms;
+    if (key == "upsets_injected") return static_cast<double>(o.upsets_injected);
+    if (key == "upsets_detected") return static_cast<double>(o.upsets_detected);
+    if (key == "columns_repaired") return static_cast<double>(o.columns_repaired);
+    if (key == "load_retries") return static_cast<double>(o.load_retries);
+    if (key == "fallback_cycles") return static_cast<double>(o.fallback_cycles);
+    if (key == "rejected_cycles") return static_cast<double>(o.rejected_cycles);
     REFPGA_EXPECTS(false && "unknown report metric key");
     return 0.0;
 }
@@ -88,11 +101,13 @@ std::string axis_value(const ScenarioOutcome& o, std::string_view axis) {
     if (axis == "part") return std::string(fabric::part(s.part).id);
     if (axis == "port") return port_kind_name(s.port);
     if (axis == "noise") return fmt(s.noise_rms_v);
+    if (axis == "upset_rate") return fmt(s.fault.upset_rate_per_column_s);
     REFPGA_EXPECTS(false && "unknown sweep axis");
     return {};
 }
 
-constexpr std::string_view kAxes[] = {"variant", "part", "port", "noise"};
+constexpr std::string_view kAxes[] = {"variant", "part", "port", "noise",
+                                      "upset_rate"};
 
 void append_summary_json(std::ostringstream& os, const MetricSummary& s) {
     os << "{\"min\":" << fmt(s.min) << ",\"mean\":" << fmt(s.mean)
@@ -148,16 +163,18 @@ std::string CampaignReport::render_text() const {
 
     Table scenarios({"scenario", "status", "level err", "busy (ms)",
                      "reconfig (ms/cyc)", "static (mW)", "dynamic (mW)",
-                     "fit part"});
+                     "avail", "fit part"});
     for (const ScenarioOutcome& o : outcomes_) {
         if (!o.ok) {
-            scenarios.add_row({o.scenario.name, "FAILED", "-", "-", "-", "-", "-", "-"});
+            scenarios.add_row(
+                {o.scenario.name, "FAILED", "-", "-", "-", "-", "-", "-", "-"});
             continue;
         }
         scenarios.add_row({o.scenario.name, o.device_fits ? "ok" : "ok (no fit)",
                            fmt(o.level_error_mean), Table::num(o.cycle_busy_ms, 3),
                            Table::num(o.reconfig_ms_per_cycle, 3),
                            Table::num(o.static_mw, 1), Table::num(o.dynamic_mw, 2),
+                           Table::num(o.availability, 3),
                            o.fitted_part.empty() ? "none" : o.fitted_part});
     }
     os << scenarios.render() << "\n";
@@ -201,7 +218,9 @@ std::string CampaignReport::render_json() const {
         os << "{\"name\":\"" << json_escape(s.name) << "\",\"variant\":\""
            << app::variant_name(s.variant) << "\",\"part\":\""
            << fabric::part(s.part).id << "\",\"port\":\"" << port_kind_name(s.port)
-           << "\",\"noise_rms_v\":" << fmt(s.noise_rms_v) << ",\"fill\":["
+           << "\",\"noise_rms_v\":" << fmt(s.noise_rms_v)
+           << ",\"upset_rate_per_column_s\":" << fmt(s.fault.upset_rate_per_column_s)
+           << ",\"fill\":["
            << fmt(s.fill.start_level) << "," << fmt(s.fill.end_level)
            << "],\"cycles\":" << s.cycles << ",\"seed\":" << s.seed
            << ",\"ok\":" << (o.ok ? "true" : "false");

@@ -59,6 +59,18 @@ SweepBuilder& SweepBuilder::noise_levels(std::vector<double> v) {
     return *this;
 }
 
+SweepBuilder& SweepBuilder::upset_rates(std::vector<double> v) {
+    REFPGA_EXPECTS(!v.empty());
+    for (const double rate : v) REFPGA_EXPECTS(rate >= 0.0);
+    upset_rates_ = std::move(v);
+    return *this;
+}
+
+SweepBuilder& SweepBuilder::fault_defaults(fault::FaultSpec spec) {
+    fault_defaults_ = spec;
+    return *this;
+}
+
 SweepBuilder& SweepBuilder::fills(std::vector<FillProfile> v) {
     REFPGA_EXPECTS(!v.empty());
     fills_ = std::move(v);
@@ -77,7 +89,7 @@ SweepBuilder& SweepBuilder::campaign_seed(std::uint64_t seed) {
 
 std::size_t SweepBuilder::grid_size() const {
     return variants_.size() * parts_.size() * ports_.size() * noise_levels_.size() *
-           fills_.size();
+           upset_rates_.size() * fills_.size();
 }
 
 namespace {
@@ -85,6 +97,12 @@ namespace {
 std::string format_noise(double noise) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "n%.4g", noise);
+    return buf;
+}
+
+std::string format_upset_rate(double rate) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "u%.4g", rate);
     return buf;
 }
 
@@ -103,21 +121,26 @@ std::vector<Scenario> SweepBuilder::build() const {
         for (const fabric::PartName part : parts_)
             for (const PortKind port : ports_)
                 for (const double noise : noise_levels_)
-                    for (const FillProfile& fill : fills_) {
-                        Scenario s;
-                        s.variant = variant;
-                        s.part = part;
-                        s.port = port;
-                        s.fill = fill;
-                        s.noise_rms_v = noise;
-                        s.cycles = cycles_;
-                        s.seed = scenario_seed(campaign_seed_, grid.size());
-                        s.name = std::string(app::variant_name(variant)) + "|" +
-                                 std::string(fabric::part(part).id) + "|" +
-                                 port_kind_name(port) + "|" + format_noise(noise) +
-                                 "|" + format_fill(fill);
-                        grid.push_back(std::move(s));
-                    }
+                    for (const double upset_rate : upset_rates_)
+                        for (const FillProfile& fill : fills_) {
+                            Scenario s;
+                            s.variant = variant;
+                            s.part = part;
+                            s.port = port;
+                            s.fill = fill;
+                            s.noise_rms_v = noise;
+                            s.fault = fault_defaults_;
+                            s.fault.upset_rate_per_column_s = upset_rate;
+                            s.cycles = cycles_;
+                            s.seed = scenario_seed(campaign_seed_, grid.size());
+                            s.name = std::string(app::variant_name(variant)) + "|" +
+                                     std::string(fabric::part(part).id) + "|" +
+                                     port_kind_name(port) + "|" +
+                                     format_noise(noise) + "|" +
+                                     format_upset_rate(upset_rate) + "|" +
+                                     format_fill(fill);
+                            grid.push_back(std::move(s));
+                        }
     return grid;
 }
 

@@ -1,6 +1,15 @@
 #include "refpga/reconfig/config_port.hpp"
 
+#include "refpga/common/contracts.hpp"
+
 namespace refpga::reconfig {
+
+void ConfigPortSpec::validate() const {
+    REFPGA_EXPECTS(clock_hz > 0.0);
+    REFPGA_EXPECTS(width_bits > 0);
+    REFPGA_EXPECTS(efficiency > 0.0 && efficiency <= 1.0);
+    REFPGA_EXPECTS(setup_s >= 0.0);
+}
 
 ConfigPortSpec icap_port() {
     return {"icap", 66e6, 8, 1.0, 20e-6, 60.0};

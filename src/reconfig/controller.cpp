@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "refpga/common/contracts.hpp"
+#include "refpga/reconfig/scrubber.hpp"
 
 namespace refpga::reconfig {
+
+namespace {
+
+// FNV-1a over the module name: the content signature its frames carry in the
+// configuration memory (salted per column by ConfigMemory::load_columns).
+std::uint64_t module_signature(const std::string& module) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : module) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+const char* slot_health_name(SlotHealth health) {
+    switch (health) {
+        case SlotHealth::Healthy: return "healthy";
+        case SlotHealth::Retrying: return "retrying";
+        case SlotHealth::Failed: return "failed";
+    }
+    return "?";
+}
 
 ReconfigController::ReconfigController(const fabric::Device& dev, ConfigPortSpec port,
                                        FlashSpec flash)
@@ -42,6 +67,15 @@ const Slot& ReconfigController::find_slot(const std::string& name) const {
     throw ContractViolation("unknown slot: " + name);
 }
 
+void ReconfigController::set_load_policy(LoadPolicy policy) {
+    REFPGA_EXPECTS(policy.max_retries >= 0);
+    policy_ = policy;
+}
+
+SlotHealth ReconfigController::slot_health(const std::string& slot) const {
+    return find_slot(slot).health;
+}
+
 ReconfigEvent ReconfigController::load(const std::string& slot,
                                        const std::string& module) {
     Slot& s = find_slot(slot);
@@ -54,7 +88,7 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
     event.slot = slot;
     event.module = module;
 
-    if (s.loaded_module == module) {
+    if (s.loaded_module == module && s.health == SlotHealth::Healthy) {
         event.skipped = true;
         events_.push_back(event);
         return event;
@@ -66,10 +100,59 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
     // The controller streams flash -> port; the slower path paces it.
     const double port_time = port_.config_time_s(bs);
     const double flash_time = static_cast<double>(bs.bits) / flash_.read_bps;
-    event.time_s = std::max(port_time, flash_time);
-    event.energy_mj = event.time_s * (port_.active_power_mw + flash_.read_power_mw);
+    const double transfer_s = std::max(port_time, flash_time);
+    const double transfer_mj =
+        transfer_s * (port_.active_power_mw + flash_.read_power_mw);
+    // Verification streams the slot's frames back over the same port (no
+    // extra setup; flash is idle during readback).
+    const double verify_s =
+        policy_.verify_after_write
+            ? static_cast<double>(bs.bits) / port_.throughput_bps()
+            : 0.0;
 
-    s.loaded_module = module;
+    bool success = false;
+    bool landed_corrupt = false;
+    while (event.attempts <= policy_.max_retries) {
+        ++event.attempts;
+        const fault::LoadFault fault =
+            fault_hook_ ? fault_hook_(slot, module, event.attempts)
+                        : fault::LoadFault{};
+        event.time_s += transfer_s;
+        event.energy_mj += transfer_mj;
+        if (fault.flash_error) {
+            // The fetch fails its CRC at end of stream: the attempt's full
+            // transfer time is spent, nothing lands in the fabric.
+            s.health = SlotHealth::Retrying;
+            continue;
+        }
+        if (policy_.verify_after_write) {
+            event.verify_s += verify_s;
+            event.time_s += verify_s;
+            event.energy_mj += verify_s * port_.active_power_mw;
+            if (fault.corrupt_transfer) {
+                // Readback disagrees with the golden bitstream: retry.
+                s.health = SlotHealth::Retrying;
+                continue;
+            }
+        }
+        success = true;
+        // Without verification a corrupted transfer goes unnoticed here and
+        // lands with a wrong signature — readback scrubbing's job to find.
+        landed_corrupt = fault.corrupt_transfer;
+        break;
+    }
+
+    if (success) {
+        s.loaded_module = module;
+        s.health = SlotHealth::Healthy;
+        if (memory_ != nullptr)
+            memory_->load_columns(s.region.x_begin, s.region.x_end,
+                                  module_signature(module), landed_corrupt);
+    } else {
+        s.loaded_module.clear();
+        s.health = SlotHealth::Failed;
+        event.failed = true;
+    }
     events_.push_back(event);
     return event;
 }
@@ -94,6 +177,20 @@ long ReconfigController::load_count() const {
     long n = 0;
     for (const auto& e : events_)
         if (!e.skipped) ++n;
+    return n;
+}
+
+long ReconfigController::retry_count() const {
+    long n = 0;
+    for (const auto& e : events_)
+        if (e.attempts > 1) n += e.attempts - 1;
+    return n;
+}
+
+long ReconfigController::failed_load_count() const {
+    long n = 0;
+    for (const auto& e : events_)
+        if (e.failed) ++n;
     return n;
 }
 

@@ -27,12 +27,20 @@ struct ConfigPortSpec {
     /// Power drawn by the configuration logic while configuring.
     double active_power_mw = 0.0;
 
+    /// Throws refpga::ContractViolation unless the spec yields a positive,
+    /// finite throughput (clock_hz > 0, width_bits > 0, 0 < efficiency <= 1,
+    /// setup_s >= 0). A zero clock, width or efficiency would otherwise turn
+    /// config_time_s/config_energy_mj into inf or NaN and silently poison
+    /// every schedule built on top.
+    void validate() const;
+
     [[nodiscard]] double throughput_bps() const {
         return clock_hz * width_bits * efficiency;
     }
 
     /// Wall-clock time to push a bitstream through this port.
     [[nodiscard]] double config_time_s(const Bitstream& bs) const {
+        validate();
         return setup_s + static_cast<double>(bs.bits) / throughput_bps();
     }
 

@@ -8,15 +8,19 @@
 // the overhead the paper warns about.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "refpga/fault/fault.hpp"
 #include "refpga/reconfig/bitstream.hpp"
 #include "refpga/reconfig/config_port.hpp"
 
 namespace refpga::reconfig {
+
+class ConfigMemory;
 
 /// External bitstream storage (serial flash / low-power memory).
 struct FlashSpec {
@@ -25,11 +29,22 @@ struct FlashSpec {
     double read_power_mw = 15.0;   ///< power while streaming
 };
 
+/// Health of a reconfigurable slot across load attempts.
+///
+///   Healthy  — last load verified (or no load yet)
+///   Retrying — a load attempt failed and is being retried
+///   Failed   — the retry budget is exhausted; no module is resident until a
+///              later load succeeds (callers degrade to a software path)
+enum class SlotHealth { Healthy, Retrying, Failed };
+
+[[nodiscard]] const char* slot_health_name(SlotHealth health);
+
 /// One reconfigurable slot of the floorplan.
 struct Slot {
     std::string name;
     fabric::Region region;
     std::string loaded_module;  ///< empty until first load
+    SlotHealth health = SlotHealth::Healthy;
 };
 
 struct ReconfigEvent {
@@ -39,7 +54,25 @@ struct ReconfigEvent {
     double time_s = 0.0;
     double energy_mj = 0.0;
     bool skipped = false;  ///< module was already resident
+    int attempts = 0;      ///< transfer attempts charged (0 when skipped)
+    double verify_s = 0.0; ///< readback-verify share of time_s
+    bool failed = false;   ///< retry budget exhausted; slot marked Failed
 };
+
+/// Load-hardening knobs. Verification reads the slot's frames back over the
+/// configuration port after each write (doubling the transfer time), so it
+/// defaults off; the fault layer arms it when faults are being injected.
+struct LoadPolicy {
+    bool verify_after_write = false;
+    int max_retries = 2;  ///< extra attempts after the first (>= 0)
+};
+
+/// Fault outcome of one configuration-load attempt: (slot, module, attempt)
+/// -> fault::LoadFault. Installed by the fault-injection layer; the default
+/// (empty) hook never faults.
+using LoadFaultHook =
+    std::function<fault::LoadFault(const std::string& slot,
+                                   const std::string& module, int attempt)>;
 
 class ReconfigController {
 public:
@@ -58,18 +91,39 @@ public:
     void register_module(const std::string& slot, const std::string& module);
 
     /// Loads `module` into `slot`. No-op (skipped event) when already
-    /// resident. Configuration streams from flash into the port; the slower
-    /// of the two paces the transfer.
+    /// resident and the slot is Healthy. Configuration streams from flash
+    /// into the port; the slower of the two paces the transfer. With a
+    /// fault hook installed, flash errors and verify mismatches trigger
+    /// bounded retries (LoadPolicy::max_retries), every attempt's time and
+    /// energy charged to the ledger; an exhausted budget marks the slot
+    /// Failed and clears its resident module, so the next request retries
+    /// from scratch (recovery path).
     ReconfigEvent load(const std::string& slot, const std::string& module);
 
     [[nodiscard]] const std::string& resident_module(const std::string& slot) const;
+    [[nodiscard]] SlotHealth slot_health(const std::string& slot) const;
+
+    // --- fault hardening ------------------------------------------------------
+
+    void set_load_policy(LoadPolicy policy);
+    [[nodiscard]] const LoadPolicy& load_policy() const { return policy_; }
+
+    /// Installs the per-attempt fault source (empty hook = no faults).
+    void set_load_fault_hook(LoadFaultHook hook) { fault_hook_ = std::move(hook); }
+
+    /// Mirrors successful loads into a configuration memory so readback
+    /// scrubbing sees them (corrupted transfers land with wrong signatures).
+    /// The memory must outlive the controller; pass nullptr to detach.
+    void attach_memory(ConfigMemory* memory) { memory_ = memory; }
 
     // --- ledger ---------------------------------------------------------------
 
     [[nodiscard]] const std::vector<ReconfigEvent>& events() const { return events_; }
     [[nodiscard]] double total_time_s() const;
     [[nodiscard]] double total_energy_mj() const;
-    [[nodiscard]] long load_count() const;  ///< non-skipped loads
+    [[nodiscard]] long load_count() const;   ///< non-skipped loads
+    [[nodiscard]] long retry_count() const;  ///< attempts beyond the first
+    [[nodiscard]] long failed_load_count() const;
 
 private:
     [[nodiscard]] Slot& find_slot(const std::string& name);
@@ -78,6 +132,9 @@ private:
     fabric::Device dev_;  // owned copy: the controller must outlive any caller-supplied device
     ConfigPortSpec port_;
     FlashSpec flash_;
+    LoadPolicy policy_;
+    LoadFaultHook fault_hook_;
+    ConfigMemory* memory_ = nullptr;  // not owned
     std::vector<Slot> slots_;
     std::map<std::string, std::vector<std::string>> slot_modules_;
     std::vector<ReconfigEvent> events_;

@@ -28,8 +28,12 @@ public:
     [[nodiscard]] const fabric::Device& device() const { return dev_; }
 
     /// Writes columns [x_begin, x_end) with the configuration identified by
-    /// `signature` and records it as golden.
-    void load_columns(int x_begin, int x_end, std::uint64_t signature);
+    /// `signature` and records it as golden. With `corrupt_transfer` the
+    /// golden store still records the intended signature but the fabric
+    /// lands with a wrong one (a transfer fault), so readback scrubbing can
+    /// detect the mismatch later.
+    void load_columns(int x_begin, int x_end, std::uint64_t signature,
+                      bool corrupt_transfer = false);
 
     /// Flips a configuration bit in `column` (a single-event upset).
     void inject_upset(int column, Rng& rng);

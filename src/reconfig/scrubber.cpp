@@ -9,14 +9,18 @@ ConfigMemory::ConfigMemory(const fabric::Device& dev)
       current_(static_cast<std::size_t>(dev.cols()), 0),
       golden_(static_cast<std::size_t>(dev.cols())) {}
 
-void ConfigMemory::load_columns(int x_begin, int x_end, std::uint64_t signature) {
+void ConfigMemory::load_columns(int x_begin, int x_end, std::uint64_t signature,
+                                bool corrupt_transfer) {
     REFPGA_EXPECTS(x_begin >= 0 && x_begin < x_end && x_end <= dev_.cols());
     for (int x = x_begin; x < x_end; ++x) {
         // Each column's signature is salted by position so identical modules
         // in different columns still differ (as real frame data would).
         const std::uint64_t salted = signature ^ (0x9e3779b97f4a7c15ULL * (x + 1));
-        current_[static_cast<std::size_t>(x)] = salted;
         golden_[static_cast<std::size_t>(x)] = salted;
+        // A corrupted transfer lands with a deterministic one-bit error per
+        // column; the golden store keeps the intended frame data.
+        current_[static_cast<std::size_t>(x)] =
+            corrupt_transfer ? (salted ^ (std::uint64_t{1} << (x % 64))) : salted;
     }
 }
 

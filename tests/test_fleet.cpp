@@ -171,9 +171,9 @@ TEST(Campaign, ReportIsByteIdenticalAcrossThreadCounts) {
     const std::vector<Scenario> sweep = acceptance_sweep();
     ASSERT_GE(sweep.size(), 24u);
 
-    const CampaignResult serial = CampaignRunner({1}).run(sweep);
-    const CampaignResult parallel4 = CampaignRunner({4}).run(sweep);
-    const CampaignResult parallel3 = CampaignRunner({3}).run(sweep);
+    const CampaignResult serial = CampaignRunner(1).run(sweep);
+    const CampaignResult parallel4 = CampaignRunner(4).run(sweep);
+    const CampaignResult parallel3 = CampaignRunner(3).run(sweep);
 
     const std::string json1 = CampaignReport::from(serial).render_json();
     const std::string json4 = CampaignReport::from(parallel4).render_json();
@@ -197,7 +197,7 @@ TEST(Campaign, FailingScenarioIsIsolated) {
     ASSERT_EQ(sweep.size(), 4u);
     sweep[1].cycles = 0;  // invalid: the runner's precondition will throw
 
-    const CampaignResult result = CampaignRunner({2}).run(sweep);
+    const CampaignResult result = CampaignRunner(2).run(sweep);
     ASSERT_EQ(result.outcomes.size(), 4u);
     EXPECT_EQ(result.failure_count(), 1u);
     EXPECT_FALSE(result.outcomes[1].ok);
@@ -214,6 +214,31 @@ TEST(Campaign, FailingScenarioIsIsolated) {
     EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
 }
 
+TEST(Campaign, NonStandardThrowBecomesFailureRecord) {
+    std::vector<Scenario> sweep = SweepBuilder{}
+                                      .variants({SystemVariant::ReconfiguredHw})
+                                      .noise_levels({1e-3, 2e-3})
+                                      .cycles(1)
+                                      .campaign_seed(9)
+                                      .build();
+    ASSERT_EQ(sweep.size(), 2u);
+
+    // A scenario whose setup throws something outside the std::exception
+    // hierarchy must still become a failure record instead of escaping into
+    // the worker thread and taking the campaign down.
+    CampaignOptions options;
+    options.threads = 2;
+    options.scenario_probe = [&](const Scenario& s) {
+        if (s.name == sweep[1].name) throw 42;  // NOLINT: deliberately non-standard
+    };
+    const CampaignResult result = CampaignRunner(options).run(sweep);
+    ASSERT_EQ(result.outcomes.size(), 2u);
+    EXPECT_TRUE(result.outcomes[0].ok);
+    EXPECT_FALSE(result.outcomes[1].ok);
+    EXPECT_EQ(result.outcomes[1].error, "non-standard exception");
+    EXPECT_EQ(result.failure_count(), 1u);
+}
+
 TEST(Campaign, OutcomesCarryPhysicallySensibleMetrics) {
     const std::vector<Scenario> sweep =
         SweepBuilder{}
@@ -222,7 +247,7 @@ TEST(Campaign, OutcomesCarryPhysicallySensibleMetrics) {
             .cycles(3)
             .campaign_seed(11)
             .build();
-    const CampaignResult result = CampaignRunner({2}).run(sweep);
+    const CampaignResult result = CampaignRunner(2).run(sweep);
     ASSERT_EQ(result.failure_count(), 0u);
 
     const ScenarioOutcome* mono = nullptr;
@@ -251,7 +276,7 @@ TEST(Campaign, OutcomesCarryPhysicallySensibleMetrics) {
 TEST(Campaign, GroupsCoverEveryAxisValue) {
     const std::vector<Scenario> sweep = acceptance_sweep();
     const CampaignReport report =
-        CampaignReport::from(CampaignRunner({2}).run(sweep));
+        CampaignReport::from(CampaignRunner(2).run(sweep));
 
     std::size_t variant_groups = 0;
     std::size_t part_groups = 0;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "refpga/app/system.hpp"
 #include "refpga/netlist/builder.hpp"
 #include "refpga/reconfig/bitstream.hpp"
@@ -101,6 +103,44 @@ TEST(ConfigPorts, ConfigTimeMatchesThroughput) {
         port.setup_s + static_cast<double>(bs.bits) / port.throughput_bps();
     EXPECT_DOUBLE_EQ(port.config_time_s(bs), expected);
     EXPECT_GT(port.config_energy_mj(bs), 0.0);
+}
+
+TEST(ConfigPorts, DegenerateSpecsRejectedInsteadOfInfOrNan) {
+    const Device dev(PartName::XC3S400);
+    const Bitstream bs = Bitstream::partial(dev, "m", 0, 8);
+
+    // Regression: a zero clock, width or efficiency used to drive
+    // throughput_bps() to 0 and config_time_s/config_energy_mj to inf/NaN,
+    // silently poisoning every schedule built on top.
+    ConfigPortSpec port = jcap_port();
+    port.clock_hz = 0.0;
+    EXPECT_THROW(port.validate(), ContractViolation);
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+    EXPECT_THROW((void)port.config_energy_mj(bs), ContractViolation);
+
+    port = jcap_port();
+    port.width_bits = 0;
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+    port.width_bits = -8;
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+
+    port = jcap_port();
+    port.efficiency = 0.0;
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+    port.efficiency = 1.5;
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+
+    port = jcap_port();
+    port.setup_s = -1e-6;
+    EXPECT_THROW((void)port.config_time_s(bs), ContractViolation);
+
+    // Every catalog port stays valid and finite.
+    for (const ConfigPortSpec& p :
+         {icap_port(), selectmap_port(), jcap_port(), jcap_accelerated_port()}) {
+        EXPECT_NO_THROW(p.validate()) << p.name;
+        EXPECT_TRUE(std::isfinite(p.config_time_s(bs))) << p.name;
+        EXPECT_TRUE(std::isfinite(p.config_energy_mj(bs))) << p.name;
+    }
 }
 
 class PortOrdering : public ::testing::TestWithParam<PartName> {};
@@ -310,6 +350,52 @@ TEST_F(ScrubberTest, UnconfiguredColumnsAreIgnored) {
     Scrubber scrubber(fresh, jcap_port());
     const ScrubReport report = scrubber.scan(0, dev_.cols());
     EXPECT_EQ(report.upsets_detected, 0);
+}
+
+TEST_F(ScrubberTest, ScanBoundsValidated) {
+    Scrubber scrubber(memory_, jcap_port());
+    EXPECT_THROW((void)scrubber.scan(-1, 2), ContractViolation);
+    EXPECT_THROW((void)scrubber.scan(0, dev_.cols() + 1), ContractViolation);
+    EXPECT_THROW((void)scrubber.scan(3, 3), ContractViolation);   // empty
+    EXPECT_THROW((void)scrubber.scan(10, 4), ContractViolation);  // inverted
+    EXPECT_NO_THROW((void)scrubber.scan(0, dev_.cols()));
+}
+
+TEST_F(ScrubberTest, RepeatedUpsetsInOneColumnRepairedAsOne) {
+    // An odd number of bit flips never cancels completely, whatever bits the
+    // stream picks: the column reads back corrupted and one golden rewrite
+    // clears all accumulated damage at once.
+    Rng rng(21);
+    memory_.inject_upset(9, rng);
+    memory_.inject_upset(9, rng);
+    memory_.inject_upset(9, rng);
+    ASSERT_TRUE(memory_.column_corrupted(9));
+    EXPECT_EQ(memory_.corrupted_count(), 1);
+
+    Scrubber scrubber(memory_, jcap_port());
+    const ScrubReport report = scrubber.scan(0, dev_.cols());
+    EXPECT_EQ(report.upsets_detected, 1);
+    EXPECT_EQ(report.columns_repaired, 1);
+    EXPECT_FALSE(memory_.column_corrupted(9));
+}
+
+TEST_F(ScrubberTest, UpsetBehindTheReadbackPointerWaitsForNextPass) {
+    // An upset landing after the scrubber has already read its column is
+    // invisible to the rest of the pass; it is caught one pass later.
+    Scrubber scrubber(memory_, jcap_port());
+    const ScrubReport head = scrubber.scan(0, 1);  // column 0 read back clean
+    EXPECT_EQ(head.upsets_detected, 0);
+
+    Rng rng(8);
+    memory_.inject_upset(0, rng);  // lands behind the pointer
+    const ScrubReport tail = scrubber.scan(1, dev_.cols());  // rest of pass
+    EXPECT_EQ(tail.upsets_detected, 0);
+    EXPECT_TRUE(memory_.column_corrupted(0));  // survives the full pass
+
+    const ScrubReport next_pass = scrubber.scan(0, 1);
+    EXPECT_EQ(next_pass.upsets_detected, 1);
+    EXPECT_EQ(next_pass.columns_repaired, 1);
+    EXPECT_FALSE(memory_.column_corrupted(0));
 }
 
 TEST(ScrubberLatency, FasterPortDetectsSooner) {
