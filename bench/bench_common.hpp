@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "refpga/app/system.hpp"
 #include "refpga/netlist/stats.hpp"
@@ -20,6 +21,15 @@ namespace refpga::benchkit {
 
 inline void print_header(const std::string& id, const std::string& title) {
     std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// True when the binary was invoked with --smoke. CI runs the benches in
+/// this mode: a scaled-down scenario that validates the bench end-to-end
+/// (and its invariants) without paying full measurement time.
+inline bool smoke_mode(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--smoke") return true;
+    return false;
 }
 
 /// Physical implementation of a netlist on a device: pack + regioned

@@ -23,17 +23,22 @@ using namespace refpga;
 
 constexpr double kClockHz = 50e6;
 
-void print_table2() {
+void print_table2(bool smoke) {
     benchkit::print_header(
         "Table 2", "per-net power before/after logic reallocation (uW)");
 
     // The paper optimized the hardware data-processing modules; use the full
-    // system netlist (soft-IP activity included) on the XC3S1000.
-    const app::SystemNetlist sys = app::build_system_netlist({});
+    // system netlist (soft-IP activity included) on the XC3S1000. Smoke mode
+    // shrinks to the hardware core on the XC3S400.
+    const app::SystemNetlist sys =
+        smoke ? app::build_system_netlist(
+                    {app::AppParams{}, soc::SoftIpBudgets{}, /*include_soft_ip=*/false})
+              : app::build_system_netlist({});
     const sim::ActivityMap activity =
-        benchkit::system_activity_via_vcd(sys.nl, kClockHz);
+        benchkit::system_activity_via_vcd(sys.nl, kClockHz, smoke ? 64 : 256);
 
-    benchkit::Implementation impl(sys.nl, fabric::PartName::XC3S1000, 0.05);
+    benchkit::Implementation impl(
+        sys.nl, smoke ? fabric::PartName::XC3S400 : fabric::PartName::XC3S1000, 0.05);
 
     par::ReallocateOptions options;
     options.net_count = 8;
@@ -111,7 +116,9 @@ BENCHMARK(BM_Reallocate8Nets)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-    print_table2();
+    const bool smoke = benchkit::smoke_mode(argc, argv);
+    print_table2(smoke);
+    if (smoke) return 0;  // scaled-down end-to-end pass for CI
     print_placement_ablation();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,10 +1,10 @@
-#include "refpga/fleet/thread_pool.hpp"
+#include "refpga/common/thread_pool.hpp"
 
 #include <exception>
 
 #include "refpga/common/log.hpp"
 
-namespace refpga::fleet {
+namespace refpga {
 
 ThreadPool::ThreadPool(int threads) {
     const int count = threads < 1 ? 1 : threads;
@@ -49,9 +49,9 @@ void ThreadPool::worker_loop() {
         try {
             job();
         } catch (const std::exception& e) {
-            log_error("fleet: job escaped with exception: ", e.what());
+            log_error("thread_pool: job escaped with exception: ", e.what());
         } catch (...) {
-            log_error("fleet: job escaped with non-std exception");
+            log_error("thread_pool: job escaped with non-std exception");
         }
         {
             const std::lock_guard<std::mutex> lock(mutex_);
@@ -61,4 +61,4 @@ void ThreadPool::worker_loop() {
     }
 }
 
-}  // namespace refpga::fleet
+}  // namespace refpga

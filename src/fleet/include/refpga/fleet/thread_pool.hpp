@@ -1,52 +1,12 @@
-// Fixed-size worker pool over a mutex/condvar job queue (no external deps).
-//
-// Jobs are opaque void() callables; anything they compute must be written to
-// storage the submitter owns (the campaign runner gives each job its own
-// result slot, so workers never contend). A job that lets an exception
-// escape is a programming error at this layer — the pool swallows it and
-// logs, to keep one bad job from taking down the process; error *reporting*
-// belongs to the job itself (see CampaignRunner).
-//
-// Thread-safety: submit() and wait_idle() may be called from any thread.
-// The destructor drains the queue, then joins all workers.
+// Compatibility alias: the pool moved to refpga::common so that non-fleet
+// modules (notably the §4.3 reallocation engine in par) can share one pool
+// implementation without a fleet dependency cycle (fleet -> power -> par).
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "refpga/common/thread_pool.hpp"
 
 namespace refpga::fleet {
 
-class ThreadPool {
-public:
-    /// Spawns `threads` workers (at least 1).
-    explicit ThreadPool(int threads);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
-
-    [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
-
-    /// Enqueues a job; a sleeping worker picks it up.
-    void submit(std::function<void()> job);
-
-    /// Blocks until the queue is empty and no job is executing.
-    void wait_idle();
-
-private:
-    void worker_loop();
-
-    std::mutex mutex_;
-    std::condition_variable work_available_;
-    std::condition_variable all_done_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;
-    int active_jobs_ = 0;
-    bool stopping_ = false;
-};
+using refpga::ThreadPool;
 
 }  // namespace refpga::fleet

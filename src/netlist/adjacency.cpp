@@ -1,0 +1,60 @@
+#include "refpga/netlist/adjacency.hpp"
+
+#include <algorithm>
+
+namespace refpga::netlist {
+
+namespace {
+
+/// Sorts and deduplicates the tail of `items` starting at `begin`.
+template <typename Id>
+void sort_unique_tail(std::vector<Id>& items, std::size_t begin) {
+    std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin), items.end());
+    items.erase(std::unique(items.begin() + static_cast<std::ptrdiff_t>(begin),
+                            items.end()),
+                items.end());
+}
+
+}  // namespace
+
+CellNetIndex::CellNetIndex(const Netlist& nl) {
+    cell_offsets_.reserve(nl.cell_count() + 1);
+    cell_offsets_.push_back(0);
+    for (std::uint32_t ci = 0; ci < nl.cell_count(); ++ci) {
+        const Cell& c = nl.cell(CellId{ci});
+        const std::size_t begin = cell_nets_.size();
+        for (const NetId in : c.inputs)
+            if (in.valid()) cell_nets_.push_back(in);
+        for (const NetId out : c.outputs)
+            if (out.valid()) cell_nets_.push_back(out);
+        if (c.clock.valid()) cell_nets_.push_back(c.clock);
+        sort_unique_tail(cell_nets_, begin);
+        cell_offsets_.push_back(static_cast<std::uint32_t>(cell_nets_.size()));
+    }
+
+    net_offsets_.reserve(nl.net_count() + 1);
+    net_offsets_.push_back(0);
+    for (std::uint32_t ni = 0; ni < nl.net_count(); ++ni) {
+        const Net& n = nl.net(NetId{ni});
+        const std::size_t begin = net_cells_.size();
+        if (n.driven()) net_cells_.push_back(n.driver.cell);
+        for (const PinRef& sink : n.sinks)
+            if (sink.cell.valid()) net_cells_.push_back(sink.cell);
+        sort_unique_tail(net_cells_, begin);
+        net_offsets_.push_back(static_cast<std::uint32_t>(net_cells_.size()));
+    }
+}
+
+std::span<const NetId> CellNetIndex::nets_of(CellId cell) const {
+    REFPGA_EXPECTS(cell.value() + 1 < cell_offsets_.size());
+    return {cell_nets_.data() + cell_offsets_[cell.value()],
+            cell_nets_.data() + cell_offsets_[cell.value() + 1]};
+}
+
+std::span<const CellId> CellNetIndex::cells_of(NetId net) const {
+    REFPGA_EXPECTS(net.value() + 1 < net_offsets_.size());
+    return {net_cells_.data() + net_offsets_[net.value()],
+            net_cells_.data() + net_offsets_[net.value() + 1]};
+}
+
+}  // namespace refpga::netlist

@@ -1,0 +1,36 @@
+// Precomputed cell<->net adjacency in CSR (compressed sparse row) layout.
+//
+// The §4.3 reallocation loop needs, for every candidate move, "which nets
+// touch this cell" and "which cells sit on this net". Building those with
+// per-call std::set scans is O(pins log pins) per query and dominated the
+// hot loop; this index computes both directions once and answers queries as
+// contiguous, sorted, duplicate-free spans. Membership depends only on the
+// netlist's connectivity, so the index stays valid across placement moves
+// and re-routes; rebuild only when the netlist itself changes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::netlist {
+
+class CellNetIndex {
+public:
+    explicit CellNetIndex(const Netlist& nl);
+
+    /// Nets incident to `cell` (inputs, outputs and clock), sorted, unique.
+    [[nodiscard]] std::span<const NetId> nets_of(CellId cell) const;
+
+    /// Cells on `net` (driver and sinks), sorted, unique.
+    [[nodiscard]] std::span<const CellId> cells_of(NetId net) const;
+
+private:
+    std::vector<std::uint32_t> cell_offsets_;  ///< cell_count + 1 entries
+    std::vector<NetId> cell_nets_;
+    std::vector<std::uint32_t> net_offsets_;   ///< net_count + 1 entries
+    std::vector<CellId> net_cells_;
+};
+
+}  // namespace refpga::netlist

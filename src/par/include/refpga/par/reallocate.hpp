@@ -9,16 +9,45 @@
 //   (3) the critical path stays within the allowed slack.
 // The paper performed this by hand in FPGA Editor and argued it "must be
 // integrated in FPGA tools"; this is that integration.
+//
+// Two engines implement one set of semantics:
+//   * Incremental (default): precomputed slice<->net adjacency (ReallocIndex
+//     over netlist::CellNetIndex), scratch-route delta costing (no
+//     occupy/undo churn on the live grid), cached per-net power with an O(1)
+//     maintained total (NetPowerCache), lazy timing behind a sound
+//     delay-increase bound with periodic full resync, and deterministic
+//     parallel candidate evaluation over a ThreadPool.
+//   * Reference: the retained naive path — per-call set builders, per-
+//     candidate baseline recomputation, a full timing analysis after every
+//     committed move — with byte-identical reports. It exists so tests and
+//     benches can pin the incremental engine's output and speedup.
+//
+// Determinism contract: for a fixed input, the ReallocateReport is
+// byte-identical across engines and across any thread count. Candidate
+// gains are computed independently per (dy, dx, idx) window position, then
+// reduced sequentially in window order (max gain, lowest coordinate wins
+// ties), so the schedule can never reorder the arithmetic.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "refpga/netlist/adjacency.hpp"
 #include "refpga/par/router.hpp"
 #include "refpga/par/timing.hpp"
 #include "refpga/sim/activity.hpp"
 
+namespace refpga {
+class ThreadPool;
+}
+
 namespace refpga::par {
+
+enum class ReallocEngine {
+    Incremental,  ///< indexed, delta-costed, lazily timed, parallel (default)
+    Reference,    ///< retained naive path; identical reports, naive cost
+};
 
 struct ReallocateOptions {
     std::size_t net_count = 10;     ///< how many hot nets to optimize
@@ -31,6 +60,17 @@ struct ReallocateOptions {
     /// likewise picked moderate-fanout nets such as multiplier inputs).
     std::size_t max_fanout = 16;
     CellDelays delays;
+    ReallocEngine engine = ReallocEngine::Incremental;
+    /// Candidate-evaluation worker count (Incremental engine only). 1 keeps
+    /// everything on the calling thread; results are identical either way.
+    int threads = 1;
+    /// Reuse an existing pool across calls (overrides `threads`). The engine
+    /// uses wait_idle() as a barrier, so prefer a pool without unrelated
+    /// concurrent work.
+    ThreadPool* pool = nullptr;
+    /// Full timing re-analysis at least every N committed moves, to keep the
+    /// accumulated delay bound tight (Incremental engine only).
+    int timing_resync_period = 8;
 };
 
 /// Per-net outcome, one entry per optimized net (Table 2 rows).
@@ -46,6 +86,8 @@ struct NetPowerChange {
     [[nodiscard]] double reduction_pct() const {
         return before_uw > 0.0 ? 100.0 * (before_uw - after_uw) / before_uw : 0.0;
     }
+
+    friend bool operator==(const NetPowerChange&, const NetPowerChange&) = default;
 };
 
 struct ReallocateReport {
@@ -54,6 +96,8 @@ struct ReallocateReport {
     double total_after_uw = 0.0;
     double critical_before_ps = 0.0;
     double critical_after_ps = 0.0;
+
+    friend bool operator==(const ReallocateReport&, const ReallocateReport&) = default;
 };
 
 /// Optimizes `routed` (and the underlying placement) in place.
@@ -65,5 +109,49 @@ struct ReallocateReport {
 /// Dynamic power of one routed net at the given activity, in microwatts.
 [[nodiscard]] double net_power_uw(const RoutedDesign& routed, netlist::NetId net,
                                   const sim::ActivityMap& activity, double vdd);
+
+/// Precomputed slice<->net adjacency over one placement: which non-dedicated
+/// nets touch a slice's cells (these must be re-routed when it moves) and
+/// which slices participate in a net. Membership is position-independent, so
+/// the index stays valid across moves; rebuild only when packing changes.
+class ReallocIndex {
+public:
+    ReallocIndex(const Placement& placement, const netlist::CellNetIndex& cells);
+
+    /// Non-dedicated nets incident to the slice's cells, sorted, unique.
+    [[nodiscard]] std::span<const netlist::NetId> nets_of(SliceId slice) const;
+    /// Slices holding the net's driver or sinks, sorted, unique.
+    [[nodiscard]] std::span<const SliceId> slices_of(netlist::NetId net) const;
+
+private:
+    std::vector<std::uint32_t> slice_offsets_;
+    std::vector<netlist::NetId> slice_nets_;
+    std::vector<std::uint32_t> net_offsets_;
+    std::vector<SliceId> net_slices_;
+};
+
+/// Per-net dynamic power cache. refresh() recomputes one net's entry from
+/// its live route and maintains a running total, so total_uw() is O(1)
+/// instead of O(nets) per query; only re-routed nets are ever touched.
+/// exact_total_uw() re-sums the cached entries in net order — the same
+/// operation order a from-scratch total uses — so reports stay byte-
+/// identical to the Reference engine's.
+class NetPowerCache {
+public:
+    NetPowerCache(const RoutedDesign& routed, const sim::ActivityMap& activity,
+                  double vdd);
+
+    [[nodiscard]] double net_uw(netlist::NetId net) const;
+    void refresh(netlist::NetId net);
+    [[nodiscard]] double total_uw() const { return total_uw_; }
+    [[nodiscard]] double exact_total_uw() const;
+
+private:
+    const RoutedDesign* routed_;
+    const sim::ActivityMap* activity_;
+    double vdd_;
+    std::vector<double> net_uw_;
+    double total_uw_ = 0.0;
+};
 
 }  // namespace refpga::par

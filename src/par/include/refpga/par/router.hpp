@@ -7,6 +7,13 @@
 // less switched capacitance). Channel occupancy per tile and wire type is
 // tracked so congestion forces fallbacks, and §4.3-style re-routing of a
 // single net is supported.
+//
+// Candidate moves are costed through RouteScratch: segments chosen during a
+// trial route occupy a per-thread side buffer layered over the live usage
+// grid, so evaluating a move never touches (and never has to undo) the live
+// channel state. The live routing path funnels through the same code — it
+// routes into a scratch and then commits the deltas — which keeps trial and
+// committed routes byte-identical by construction.
 #pragma once
 
 #include <string>
@@ -58,7 +65,43 @@ struct ChannelCapacity {
     int hex = 4;
     int long_ = 1;
 
+    /// Capacity for a wire type; throws ContractViolation on an out-of-enum
+    /// value (a silent 0 here would masquerade as full channels and bury
+    /// congestion bugs).
     [[nodiscard]] int of(fabric::WireType t) const;
+};
+
+/// Occupancy side-buffer for trial routing: deltas on top of the live usage
+/// grid plus the overflows recorded while routing into it. Reusable across
+/// trials via clear(); give each evaluating thread its own instance.
+class RouteScratch {
+public:
+    RouteScratch() = default;
+
+    /// Overflows recorded by routes into this scratch since the last clear().
+    [[nodiscard]] long overflow_count() const { return overflow_; }
+
+    /// Resets all deltas (O(touched), not O(grid)).
+    void clear() {
+        for (const std::size_t idx : touched_) delta_[idx] = 0;
+        touched_.clear();
+        overflow_ = 0;
+    }
+
+private:
+    friend class RoutedDesign;
+
+    void ensure_size(std::size_t n) {
+        if (delta_.size() != n) {
+            delta_.assign(n, 0);
+            touched_.clear();
+            overflow_ = 0;
+        }
+    }
+
+    std::vector<int> delta_;            ///< same layout as the live usage grid
+    std::vector<std::size_t> touched_;  ///< indices with nonzero delta
+    long overflow_ = 0;
 };
 
 class RoutedDesign {
@@ -77,6 +120,23 @@ public:
     /// moving its logic).
     void reroute_net(netlist::NetId net, RouteMode mode);
 
+    /// Rips up one net's live route, releasing its channels. The §4.3 engine
+    /// unroutes every net affected by a candidate slice move first, so all
+    /// candidates are costed against the same base occupancy.
+    void unroute_net(netlist::NetId net);
+
+    /// Trial evaluation: capacitance of `net` routed in `mode` as if slice
+    /// `moved` sat at `moved_pos`, costed against the live usage grid plus
+    /// `scratch`'s accumulated deltas. Chosen segments occupy `scratch`, not
+    /// the live grid, so consecutive trial routes within one candidate see
+    /// each other exactly as a live sequential re-route would. Thread-safe
+    /// for concurrent calls with distinct scratches, provided no live
+    /// routing mutates the design meanwhile.
+    [[nodiscard]] double trial_route_capacitance_pf(netlist::NetId net, SliceId moved,
+                                                    const fabric::SliceCoord& moved_pos,
+                                                    RouteMode mode,
+                                                    RouteScratch& scratch) const;
+
     /// Pin connection delay added on top of segment delays, per connection.
     static constexpr double kPinDelayPs = 120.0;
     /// Driver output + sink input pin capacitance per connection (pF).
@@ -85,20 +145,43 @@ public:
 private:
     void rip_up(netlist::NetId net);
     void route_net(netlist::NetId net, RouteMode mode);
-    SinkRoute route_connection(const fabric::SliceCoord& from,
-                               const fabric::SliceCoord& to, netlist::PinRef sink,
-                               RouteMode mode);
-    void route_axis(std::vector<RouteSegment>& segments, int fixed, int begin,
-                    int end, bool horizontal, RouteMode mode);
-    [[nodiscard]] bool segment_fits(const RouteSegment& seg) const;
-    void occupy(const RouteSegment& seg, int delta);
-    [[nodiscard]] int& usage_at(int x, int y, fabric::WireType t);
-    [[nodiscard]] int usage_at(int x, int y, fabric::WireType t) const;
+    /// Shared trial/live core: routes `net` into `out`, occupying `scratch`.
+    /// When `moved_pos` is non-null, cells of slice `moved` read that
+    /// position instead of the placement's.
+    void route_net_into(netlist::NetId net, RouteMode mode, SliceId moved,
+                        const fabric::SliceCoord* moved_pos, NetRoute& out,
+                        RouteScratch& scratch) const;
+    [[nodiscard]] SinkRoute route_connection(const fabric::SliceCoord& from,
+                                             const fabric::SliceCoord& to,
+                                             netlist::PinRef sink, RouteMode mode,
+                                             RouteScratch& scratch) const;
+    /// Cost-only twin of route_connection: same segment decisions and scratch
+    /// occupancy, but only the capacitance is accumulated — no segment
+    /// storage, so trial costing allocates nothing.
+    [[nodiscard]] double route_connection_cost(const fabric::SliceCoord& from,
+                                               const fabric::SliceCoord& to,
+                                               RouteMode mode,
+                                               RouteScratch& scratch) const;
+    /// Segment decisions for one axis leg; every chosen segment occupies
+    /// `scratch` and is handed to `emit` (store it, or just cost it).
+    template <typename EmitSegment>
+    void route_axis(int fixed, int begin, int end, bool horizontal, RouteMode mode,
+                    RouteScratch& scratch, EmitSegment&& emit) const;
+    [[nodiscard]] bool segment_fits(const RouteSegment& seg,
+                                    const RouteScratch& scratch) const;
+    void occupy_scratch(const RouteSegment& seg, RouteScratch& scratch) const;
+    /// Applies a scratch's deltas to the live grid, then clears it.
+    void commit_scratch(RouteScratch& scratch);
+    void occupy_live(const RouteSegment& seg, int delta);
+    [[nodiscard]] fabric::SliceCoord pos_of(netlist::CellId cell, SliceId moved,
+                                            const fabric::SliceCoord* moved_pos) const;
+    [[nodiscard]] std::size_t usage_index(int x, int y, fabric::WireType t) const;
 
     const Placement* placement_;
     ChannelCapacity capacity_;
     std::vector<NetRoute> routes_;      ///< indexed by net id
     std::vector<int> usage_;            ///< [y][x][type]
+    RouteScratch live_scratch_;         ///< staging buffer for live routing
     long overflow_ = 0;
 };
 

@@ -1,7 +1,11 @@
 #include "refpga/par/reallocate.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <set>
+
+#include "refpga/common/thread_pool.hpp"
 
 namespace refpga::par {
 
@@ -16,6 +20,97 @@ double net_power_uw(const RoutedDesign& routed, NetId net,
                            activity.rate_hz(net), vdd);
 }
 
+// ---------------------------------------------------------------- ReallocIndex
+
+namespace {
+
+template <typename Id>
+void sort_unique_tail(std::vector<Id>& items, std::size_t begin) {
+    std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin), items.end());
+    items.erase(std::unique(items.begin() + static_cast<std::ptrdiff_t>(begin),
+                            items.end()),
+                items.end());
+}
+
+}  // namespace
+
+ReallocIndex::ReallocIndex(const Placement& placement,
+                           const netlist::CellNetIndex& cells) {
+    const PackedDesign& design = placement.design();
+
+    slice_offsets_.reserve(design.slice_count() + 1);
+    slice_offsets_.push_back(0);
+    for (std::uint32_t si = 0; si < design.slice_count(); ++si) {
+        const PackedSlice& ps = design.slices()[si];
+        const std::size_t begin = slice_nets_.size();
+        auto add_cell = [&](CellId cell) {
+            for (const NetId net : cells.nets_of(cell))
+                if (!placement.dedicated_net(net)) slice_nets_.push_back(net);
+        };
+        for (const CellId cell : ps.luts) add_cell(cell);
+        for (const CellId cell : ps.ffs) add_cell(cell);
+        sort_unique_tail(slice_nets_, begin);
+        slice_offsets_.push_back(static_cast<std::uint32_t>(slice_nets_.size()));
+    }
+
+    const auto& nl = placement.nl();
+    net_offsets_.reserve(nl.net_count() + 1);
+    net_offsets_.push_back(0);
+    for (std::uint32_t ni = 0; ni < nl.net_count(); ++ni) {
+        const std::size_t begin = net_slices_.size();
+        for (const CellId cell : cells.cells_of(NetId{ni})) {
+            const SliceId s = design.slice_of(cell);
+            if (s.valid()) net_slices_.push_back(s);
+        }
+        sort_unique_tail(net_slices_, begin);
+        net_offsets_.push_back(static_cast<std::uint32_t>(net_slices_.size()));
+    }
+}
+
+std::span<const NetId> ReallocIndex::nets_of(SliceId slice) const {
+    REFPGA_EXPECTS(slice.value() + 1 < slice_offsets_.size());
+    return {slice_nets_.data() + slice_offsets_[slice.value()],
+            slice_nets_.data() + slice_offsets_[slice.value() + 1]};
+}
+
+std::span<const SliceId> ReallocIndex::slices_of(NetId net) const {
+    REFPGA_EXPECTS(net.value() + 1 < net_offsets_.size());
+    return {net_slices_.data() + net_offsets_[net.value()],
+            net_slices_.data() + net_offsets_[net.value() + 1]};
+}
+
+// --------------------------------------------------------------- NetPowerCache
+
+NetPowerCache::NetPowerCache(const RoutedDesign& routed,
+                             const sim::ActivityMap& activity, double vdd)
+    : routed_(&routed), activity_(&activity), vdd_(vdd) {
+    const std::size_t count = routed.placement().nl().net_count();
+    net_uw_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        net_uw_.push_back(net_power_uw(routed, NetId{i}, activity, vdd));
+    total_uw_ = exact_total_uw();
+}
+
+double NetPowerCache::net_uw(NetId net) const {
+    REFPGA_EXPECTS(net.value() < net_uw_.size());
+    return net_uw_[net.value()];
+}
+
+void NetPowerCache::refresh(NetId net) {
+    REFPGA_EXPECTS(net.value() < net_uw_.size());
+    const double now = net_power_uw(*routed_, net, *activity_, vdd_);
+    total_uw_ += now - net_uw_[net.value()];
+    net_uw_[net.value()] = now;
+}
+
+double NetPowerCache::exact_total_uw() const {
+    double total = 0.0;
+    for (const double uw : net_uw_) total += uw;
+    return total;
+}
+
+// --------------------------------------------------------------------- helpers
+
 namespace {
 
 double total_power_uw(const RoutedDesign& routed, const sim::ActivityMap& activity,
@@ -27,7 +122,9 @@ double total_power_uw(const RoutedDesign& routed, const sim::ActivityMap& activi
 }
 
 /// Slices participating in a net (driver and sinks that live in slices).
-std::vector<SliceId> net_slices(const Placement& placement, NetId net) {
+/// Retained set-based builder: the Reference engine's per-call path, and the
+/// behavioral spec ReallocIndex::slices_of must match.
+std::vector<SliceId> net_slices_naive(const Placement& placement, NetId net) {
     const auto& nl = placement.nl();
     const auto& n = nl.net(net);
     std::set<SliceId> slices;
@@ -41,7 +138,8 @@ std::vector<SliceId> net_slices(const Placement& placement, NetId net) {
 }
 
 /// All nets incident to a slice's cells (these must be re-routed on a move).
-std::vector<NetId> incident_nets(const Placement& placement, SliceId slice) {
+/// Retained set-based builder mirrored by ReallocIndex::nets_of.
+std::vector<NetId> incident_nets_naive(const Placement& placement, SliceId slice) {
     const auto& nl = placement.nl();
     const auto& packed = placement.design().slices()[slice.value()];
     std::set<NetId> nets;
@@ -74,120 +172,439 @@ SliceCoord net_centroid(const Placement& placement, NetId net) {
     return SliceCoord{static_cast<int>(sx / count), static_cast<int>(sy / count), 0};
 }
 
+/// Hot nets ranked by *reducible* power: the share switched on routing wires
+/// (pin capacitance is fixed by connectivity). Very-high-fanout nets are
+/// excluded -- nothing the placer can do about hundreds of loads. Power is
+/// keyed once per net before sorting (the old comparator recomputed it on
+/// every comparison); equal-power nets tie-break on the lower id so the
+/// order is deterministic.
+std::vector<NetId> rank_hot_nets(const RoutedDesign& routed,
+                                 const sim::ActivityMap& activity,
+                                 const ReallocateOptions& options) {
+    const auto& nl = routed.placement().nl();
+    struct HotNet {
+        double wire_uw;
+        NetId net;
+    };
+    std::vector<HotNet> keyed;
+    keyed.reserve(nl.net_count());
+    for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
+        const NetId net{i};
+        if (nl.net(net).fanout() > options.max_fanout) continue;
+        const NetRoute& r = routed.route(net);
+        const double pin_c =
+            RoutedDesign::kPinCapacitancePf * static_cast<double>(r.sinks.size());
+        const double wire_c = std::max(r.capacitance_pf() - pin_c, 0.0);
+        keyed.push_back(
+            {switch_power_uw(wire_c, activity.rate_hz(net), options.vdd), net});
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const HotNet& a, const HotNet& b) {
+        if (a.wire_uw != b.wire_uw) return a.wire_uw > b.wire_uw;
+        return a.net < b.net;
+    });
+    if (keyed.size() > options.net_count) keyed.resize(options.net_count);
+    std::vector<NetId> order;
+    order.reserve(keyed.size());
+    for (const HotNet& h : keyed) order.push_back(h.net);
+    return order;
+}
+
+/// Free sites in the (2*radius+1)^2 window around the centroid, in window
+/// scan order. Both engines enumerate (and therefore tie-break) identically.
+std::vector<SliceCoord> enumerate_targets(const Placement& placement,
+                                          const Region& region,
+                                          const SliceCoord& centroid,
+                                          const SliceCoord& original, int radius) {
+    std::vector<SliceCoord> targets;
+    for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+            for (int idx = 0; idx < fabric::Device::kSlicesPerClb; ++idx) {
+                const SliceCoord target{centroid.x + dx, centroid.y + dy, idx};
+                if (!region.contains(target.x, target.y)) continue;
+                if (target == original) continue;
+                // Only move into free sites; swapping would perturb an
+                // unrelated net's power (the paper moved logic into free
+                // slices too).
+                if (placement.slice_at(target).valid()) continue;
+                targets.push_back(target);
+            }
+        }
+    }
+    return targets;
+}
+
+// ---------------------------------------------------------------------- engine
+
+/// One optimization run. Both engines share this skeleton; the Incremental
+/// flag switches bookkeeping strategy (indexes, caches, lazy timing,
+/// parallel candidate evaluation) without changing any decision.
+class Engine {
+public:
+    Engine(Placement& placement, RoutedDesign& routed,
+           const sim::ActivityMap& activity, const ReallocateOptions& options)
+        : placement_(placement),
+          routed_(routed),
+          activity_(activity),
+          options_(options),
+          inc_(options.engine == ReallocEngine::Incremental) {}
+
+    ReallocateReport run();
+
+private:
+    void setup_pool();
+    void optimize_net(NetId net, NetPowerChange& change);
+    void optimize_slice(SliceId slice, const SliceCoord& centroid,
+                        std::span<const NetId> affected, NetPowerChange& change);
+    [[nodiscard]] double trial_cost(std::span<const NetId> affected, SliceId slice,
+                                    const SliceCoord& pos,
+                                    RouteScratch& scratch) const;
+    void evaluate_candidates(std::span<const NetId> affected, SliceId slice,
+                             std::span<const SliceCoord> targets,
+                             std::span<const std::size_t> groups, double cost_before,
+                             std::vector<double>& gains);
+    void rip_all(std::span<const NetId> affected);
+    void route_all_lp(std::span<const NetId> affected);
+    [[nodiscard]] std::vector<std::vector<double>> capture_delays(
+        std::span<const NetId> affected) const;
+    [[nodiscard]] double bound_delta(
+        std::span<const NetId> affected,
+        const std::vector<std::vector<double>>& old_delays) const;
+    [[nodiscard]] bool slice_touches_critical(SliceId slice) const;
+    void resync(const TimingReport& report);
+
+    Placement& placement_;
+    RoutedDesign& routed_;
+    const sim::ActivityMap& activity_;
+    const ReallocateOptions& options_;
+    const bool inc_;
+
+    std::optional<netlist::CellNetIndex> cell_index_;
+    std::optional<ReallocIndex> index_;
+    std::optional<NetPowerCache> cache_;
+
+    double limit_ = 0.0;
+    double crit_bound_ = 0.0;           ///< sound upper bound on current critical path
+    std::vector<bool> critical_;        ///< cell mask from the last full analysis
+    int commits_since_resync_ = 0;
+
+    ThreadPool* pool_ = nullptr;
+    std::optional<ThreadPool> local_pool_;
+    std::vector<RouteScratch> scratches_;  ///< one per evaluation worker
+};
+
+void Engine::setup_pool() {
+    int workers = 1;
+    if (inc_) {
+        if (options_.pool != nullptr) {
+            pool_ = options_.pool;
+            workers = pool_->thread_count();
+        } else if (options_.threads > 1) {
+            local_pool_.emplace(options_.threads);
+            pool_ = &*local_pool_;
+            workers = options_.threads;
+        }
+    }
+    scratches_.resize(static_cast<std::size_t>(std::max(workers, 1)));
+}
+
+ReallocateReport Engine::run() {
+    const auto& nl = placement_.nl();
+    if (inc_) {
+        cell_index_.emplace(nl);
+        index_.emplace(placement_, *cell_index_);
+        cache_.emplace(routed_, activity_, options_.vdd);
+    }
+    setup_pool();
+
+    ReallocateReport report;
+    report.total_before_uw = inc_ ? cache_->exact_total_uw()
+                                  : total_power_uw(routed_, activity_, options_.vdd);
+    const TimingReport t0 = analyze_timing(routed_, options_.delays);
+    report.critical_before_ps = t0.critical_path_ps;
+    limit_ = report.critical_before_ps * options_.timing_slack;
+    if (inc_) {
+        crit_bound_ = t0.critical_path_ps;
+        critical_ = critical_cell_mask(t0, nl.cell_count());
+    }
+
+    for (const NetId net : rank_hot_nets(routed_, activity_, options_)) {
+        NetPowerChange change;
+        change.net = net;
+        change.name = nl.net(net).name;
+        change.before_uw = net_power_uw(routed_, net, activity_, options_.vdd);
+        if (options_.capture_routes) change.route_before = render_route(routed_, net);
+        optimize_net(net, change);
+        change.after_uw = net_power_uw(routed_, net, activity_, options_.vdd);
+        if (options_.capture_routes) change.route_after = render_route(routed_, net);
+        report.nets.push_back(std::move(change));
+    }
+
+    report.total_after_uw = inc_ ? cache_->exact_total_uw()
+                                 : total_power_uw(routed_, activity_, options_.vdd);
+    report.critical_after_ps = analyze_timing(routed_, options_.delays).critical_path_ps;
+    return report;
+}
+
+void Engine::optimize_net(NetId net, NetPowerChange& change) {
+    // Step 1: re-route the net itself on low-capacitance wires.
+    const NetId self[] = {net};
+    std::vector<std::vector<double>> old_delays;
+    if (inc_) old_delays = capture_delays(self);
+    routed_.reroute_net(net, RouteMode::LowPower);
+    if (inc_) {
+        cache_->refresh(net);
+        crit_bound_ += bound_delta(self, old_delays);
+    }
+
+    // Step 2: try to pull each participating slice toward the centroid.
+    const SliceCoord centroid = net_centroid(placement_, net);
+    if (inc_) {
+        for (const SliceId slice : index_->slices_of(net))
+            optimize_slice(slice, centroid, index_->nets_of(slice), change);
+    } else {
+        for (const SliceId slice : net_slices_naive(placement_, net)) {
+            const std::vector<NetId> affected = incident_nets_naive(placement_, slice);
+            optimize_slice(slice, centroid, affected, change);
+        }
+    }
+}
+
+void Engine::optimize_slice(SliceId slice, const SliceCoord& centroid,
+                            std::span<const NetId> affected,
+                            NetPowerChange& change) {
+    if (affected.empty()) return;  // no move can change any routed net
+
+    const Region region = placement_.region_of(
+        placement_.design().slices()[slice.value()].partition);
+    const SliceCoord original = placement_.slice_pos(slice);
+    const std::vector<SliceCoord> targets =
+        enumerate_targets(placement_, region, centroid, original, options_.radius);
+    if (targets.empty()) return;
+
+    std::vector<std::vector<double>> old_delays;
+    if (inc_) old_delays = capture_delays(affected);
+
+    // Candidates are delta-costed against the base occupancy with every
+    // affected net ripped up -- exactly the state a live re-route starts
+    // from, so trial routes equal committed routes byte for byte.
+    rip_all(affected);
+
+    // Deterministic reduction: window order, strict improvement required,
+    // first (lowest-coordinate) candidate wins ties — identical across
+    // engines and for any thread count.
+    double best_gain = 0.0;
+    std::size_t best = targets.size();
+    if (inc_) {
+        const double cost_before = trial_cost(affected, slice, original, scratches_[0]);
+        // Slice sites within one CLB share the tile coordinate and routing
+        // never reads the intra-CLB index, so their gains are bitwise equal.
+        // Evaluate one representative per tile: under the strict-improvement
+        // reduction only a group's first member is ever selectable, so the
+        // choice matches a full per-site evaluation exactly.
+        std::vector<std::size_t> groups;
+        groups.reserve(targets.size());
+        for (std::size_t i = 0; i < targets.size(); ++i)
+            if (groups.empty() || targets[i].x != targets[groups.back()].x ||
+                targets[i].y != targets[groups.back()].y)
+                groups.push_back(i);
+        std::vector<double> gains(groups.size(), 0.0);
+        evaluate_candidates(affected, slice, targets, groups, cost_before, gains);
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (gains[g] > best_gain) {
+                best_gain = gains[g];
+                best = groups[g];
+            }
+        }
+    } else {
+        // Retained pre-PR mechanics: every candidate swaps the slice in,
+        // re-routes all affected nets on the live grid, measures, then swaps
+        // back and re-routes again to undo — the occupy/undo churn (and the
+        // per-candidate baseline recompute) that the incremental engine's
+        // scratch evaluator eliminates. Decisions are identical: live routes
+        // from the same base occupancy equal scratch trial routes byte for
+        // byte, and costs are summed in the same ascending net order.
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            placement_.swap_sites(original, targets[i]);
+            for (const NetId a : affected)
+                routed_.reroute_net(a, RouteMode::LowPower);
+            double cost_after = 0.0;
+            for (const NetId a : affected)
+                cost_after += net_power_uw(routed_, a, activity_, options_.vdd);
+            rip_all(affected);
+            placement_.swap_sites(targets[i], original);
+            for (const NetId a : affected)
+                routed_.reroute_net(a, RouteMode::LowPower);
+            double cost_before = 0.0;
+            for (const NetId a : affected)
+                cost_before += net_power_uw(routed_, a, activity_, options_.vdd);
+            rip_all(affected);
+            const double gain = cost_before - cost_after;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = i;
+            }
+        }
+    }
+
+    const bool move = best < targets.size();
+    if (move) placement_.swap_sites(original, targets[best]);
+    route_all_lp(affected);
+
+    if (!move) {
+        // The restored routes need not equal the pre-step ones (they were
+        // re-composed from the ripped-up base); keep the bound sound.
+        if (inc_) crit_bound_ += bound_delta(affected, old_delays);
+        return;
+    }
+
+    // Timing gate: undo the move if the clock target breaks. The Reference
+    // engine re-analyzes after every committed move; the incremental engine
+    // only when the moved slice touches the last-known critical path or the
+    // accumulated delay bound no longer proves the limit holds.
+    bool reject;
+    if (!inc_) {
+        reject = analyze_timing(routed_, options_.delays).critical_path_ps > limit_;
+    } else {
+        const double delta = bound_delta(affected, old_delays);
+        if (crit_bound_ + delta <= limit_) {
+            // The bound proves the move cannot break the clock target, so the
+            // full analysis is skipped outright; the decision matches what a
+            // measurement would have produced.
+            crit_bound_ += delta;
+            reject = false;
+            // Moving a critical-path slice likely reshaped the path: pull the
+            // periodic resync closer so the bound re-tightens soon.
+            if (slice_touches_critical(slice)) ++commits_since_resync_;
+        } else {
+            const TimingReport tr = analyze_timing(routed_, options_.delays);
+            reject = tr.critical_path_ps > limit_;
+            if (!reject) resync(tr);
+        }
+    }
+
+    if (reject) {
+        rip_all(affected);
+        placement_.swap_sites(targets[best], original);
+        route_all_lp(affected);
+        // Re-measure: the restored routes need not match what the bound last
+        // described. Rejections are rare, so this resync is off the hot path.
+        if (inc_) resync(analyze_timing(routed_, options_.delays));
+    } else {
+        change.moved_logic = true;
+        if (inc_ && ++commits_since_resync_ >= options_.timing_resync_period)
+            resync(analyze_timing(routed_, options_.delays));
+    }
+}
+
+double Engine::trial_cost(std::span<const NetId> affected, SliceId slice,
+                          const SliceCoord& pos, RouteScratch& scratch) const {
+    scratch.clear();
+    double cost = 0.0;
+    for (const NetId a : affected)
+        cost += switch_power_uw(
+            routed_.trial_route_capacitance_pf(a, slice, pos, RouteMode::LowPower,
+                                               scratch),
+            activity_.rate_hz(a), options_.vdd);
+    return cost;
+}
+
+void Engine::evaluate_candidates(std::span<const NetId> affected, SliceId slice,
+                                 std::span<const SliceCoord> targets,
+                                 std::span<const std::size_t> groups,
+                                 double cost_before, std::vector<double>& gains) {
+    const std::size_t count = groups.size();
+    const std::size_t workers =
+        pool_ != nullptr ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+    if (workers <= 1 || count < 2) {
+        for (std::size_t g = 0; g < count; ++g)
+            gains[g] = cost_before -
+                       trial_cost(affected, slice, targets[groups[g]], scratches_[0]);
+        return;
+    }
+    // Contiguous chunks, one per worker; every candidate's gain is computed
+    // from the same frozen base state into its own slot, so the schedule
+    // cannot reorder any arithmetic.
+    const std::size_t chunks = std::min(workers, count);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        pool_->submit([this, affected, slice, targets, groups, cost_before, &gains,
+                       c, chunks, count] {
+            const std::size_t begin = c * count / chunks;
+            const std::size_t end = (c + 1) * count / chunks;
+            RouteScratch& scratch = scratches_[c];
+            for (std::size_t g = begin; g < end; ++g)
+                gains[g] = cost_before -
+                           trial_cost(affected, slice, targets[groups[g]], scratch);
+        });
+    }
+    pool_->wait_idle();
+}
+
+void Engine::rip_all(std::span<const NetId> affected) {
+    for (const NetId a : affected) routed_.unroute_net(a);
+}
+
+void Engine::route_all_lp(std::span<const NetId> affected) {
+    for (const NetId a : affected) {
+        routed_.reroute_net(a, RouteMode::LowPower);
+        if (inc_) cache_->refresh(a);
+    }
+}
+
+std::vector<std::vector<double>> Engine::capture_delays(
+    std::span<const NetId> affected) const {
+    std::vector<std::vector<double>> out;
+    out.reserve(affected.size());
+    for (const NetId a : affected) {
+        const NetRoute& r = routed_.route(a);
+        std::vector<double> delays;
+        delays.reserve(r.sinks.size());
+        for (const auto& s : r.sinks) delays.push_back(s.delay_ps);
+        out.push_back(std::move(delays));
+    }
+    return out;
+}
+
+double Engine::bound_delta(
+    std::span<const NetId> affected,
+    const std::vector<std::vector<double>>& old_delays) const {
+    // Sound upper bound on critical-path growth from re-routing `affected`:
+    // a register-to-register path crosses each net at most once, through
+    // exactly one sink connection, so its delay grows by at most each net's
+    // worst per-sink increase, summed over the re-routed nets.
+    double total = 0.0;
+    for (std::size_t k = 0; k < affected.size(); ++k) {
+        const NetRoute& r = routed_.route(affected[k]);
+        if (r.sinks.size() != old_delays[k].size())
+            return std::numeric_limits<double>::infinity();  // force re-analysis
+        double worst = 0.0;
+        for (std::size_t i = 0; i < r.sinks.size(); ++i)
+            worst = std::max(worst, r.sinks[i].delay_ps - old_delays[k][i]);
+        total += std::max(0.0, worst);
+    }
+    return total;
+}
+
+bool Engine::slice_touches_critical(SliceId slice) const {
+    const PackedSlice& ps = placement_.design().slices()[slice.value()];
+    for (const CellId cell : ps.luts)
+        if (critical_[cell.value()]) return true;
+    for (const CellId cell : ps.ffs)
+        if (critical_[cell.value()]) return true;
+    return false;
+}
+
+void Engine::resync(const TimingReport& report) {
+    crit_bound_ = report.critical_path_ps;
+    critical_ = critical_cell_mask(report, placement_.nl().cell_count());
+    commits_since_resync_ = 0;
+}
+
 }  // namespace
 
 ReallocateReport optimize_net_power(Placement& placement, RoutedDesign& routed,
                                     const sim::ActivityMap& activity,
                                     const ReallocateOptions& options) {
-    const auto& nl = placement.nl();
-    ReallocateReport report;
-    report.total_before_uw = total_power_uw(routed, activity, options.vdd);
-    report.critical_before_ps = analyze_timing(routed, options.delays).critical_path_ps;
-    const double timing_limit =
-        report.critical_before_ps * options.timing_slack;
-
-    // Hot nets ranked by *reducible* power: the share switched on routing
-    // wires (pin capacitance is fixed by connectivity). Very-high-fanout nets
-    // are excluded -- nothing the placer can do about hundreds of loads.
-    auto wire_power = [&](NetId net) {
-        const auto& r = routed.route(net);
-        const double pin_c =
-            RoutedDesign::kPinCapacitancePf * static_cast<double>(r.sinks.size());
-        const double wire_c = std::max(r.capacitance_pf() - pin_c, 0.0);
-        return switch_power_uw(wire_c, activity.rate_hz(net), options.vdd);
-    };
-    std::vector<NetId> order;
-    for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
-        const NetId net{i};
-        if (nl.net(net).fanout() > options.max_fanout) continue;
-        order.push_back(net);
-    }
-    std::sort(order.begin(), order.end(),
-              [&](NetId a, NetId b) { return wire_power(a) > wire_power(b); });
-    if (order.size() > options.net_count) order.resize(options.net_count);
-
-    for (const NetId net : order) {
-        NetPowerChange change;
-        change.net = net;
-        change.name = nl.net(net).name;
-        change.before_uw = net_power_uw(routed, net, activity, options.vdd);
-        if (options.capture_routes) change.route_before = render_route(routed, net);
-
-        // Step 1: re-route the net itself on low-capacitance wires.
-        routed.reroute_net(net, RouteMode::LowPower);
-
-        // Step 2: try to pull each participating slice toward the centroid.
-        const SliceCoord centroid = net_centroid(placement, net);
-        for (const SliceId slice : net_slices(placement, net)) {
-            const Region region =
-                placement.region_of(placement.design().slices()[slice.value()].partition);
-            const auto affected = incident_nets(placement, slice);
-
-            double best_gain = 0.0;
-            SliceCoord best_target{-1, -1, -1};
-            const SliceCoord original = placement.slice_pos(slice);
-
-            double affected_before = 0.0;
-            for (const NetId a : affected)
-                affected_before += net_power_uw(routed, a, activity, options.vdd);
-
-            for (int dy = -options.radius; dy <= options.radius; ++dy) {
-                for (int dx = -options.radius; dx <= options.radius; ++dx) {
-                    for (int idx = 0; idx < fabric::Device::kSlicesPerClb; ++idx) {
-                        const SliceCoord target{centroid.x + dx, centroid.y + dy, idx};
-                        if (!region.contains(target.x, target.y)) continue;
-                        if (target == original) continue;
-                        // Only move into free sites; swapping would perturb an
-                        // unrelated net's power (the paper moved logic into
-                        // free slices too).
-                        if (placement.slice_at(target).valid()) continue;
-
-                        placement.swap_sites(original, target);
-                        for (const NetId a : affected)
-                            routed.reroute_net(a, RouteMode::LowPower);
-
-                        double affected_after = 0.0;
-                        for (const NetId a : affected)
-                            affected_after +=
-                                net_power_uw(routed, a, activity, options.vdd);
-                        const double gain = affected_before - affected_after;
-                        if (gain > best_gain) {
-                            best_gain = gain;
-                            best_target = target;
-                        }
-                        // Undo for the next candidate.
-                        placement.swap_sites(target, original);
-                        for (const NetId a : affected)
-                            routed.reroute_net(a, RouteMode::LowPower);
-                    }
-                }
-            }
-
-            if (best_target.index >= 0) {
-                placement.swap_sites(original, best_target);
-                for (const NetId a : affected)
-                    routed.reroute_net(a, RouteMode::LowPower);
-                // Timing gate: undo the move if the clock target breaks.
-                const double crit =
-                    analyze_timing(routed, options.delays).critical_path_ps;
-                if (crit > timing_limit) {
-                    placement.swap_sites(best_target, original);
-                    for (const NetId a : affected)
-                        routed.reroute_net(a, RouteMode::LowPower);
-                } else {
-                    change.moved_logic = true;
-                }
-            }
-        }
-
-        change.after_uw = net_power_uw(routed, net, activity, options.vdd);
-        if (options.capture_routes) change.route_after = render_route(routed, net);
-        report.nets.push_back(std::move(change));
-    }
-
-    report.total_after_uw = total_power_uw(routed, activity, options.vdd);
-    report.critical_after_ps = analyze_timing(routed, options.delays).critical_path_ps;
-    return report;
+    return Engine(placement, routed, activity, options).run();
 }
 
 }  // namespace refpga::par

@@ -20,7 +20,9 @@ int ChannelCapacity::of(WireType t) const {
         case WireType::Hex: return hex;
         case WireType::Long: return long_;
     }
-    return 0;
+    // A silent 0 would read as "channel full" and surface as phantom
+    // congestion; fail loudly instead.
+    detail::contract_fail("precondition", "WireType within enum", __FILE__, __LINE__);
 }
 
 RoutedDesign::RoutedDesign(const Placement& placement, ChannelCapacity capacity)
@@ -42,33 +44,56 @@ double RoutedDesign::total_capacitance_pf() const {
     return c;
 }
 
-int& RoutedDesign::usage_at(int x, int y, WireType t) {
+std::size_t RoutedDesign::usage_index(int x, int y, WireType t) const {
     const auto cols = placement_->device().cols();
-    return usage_[(static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
-                  static_cast<std::size_t>(t)];
+    return (static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
+           static_cast<std::size_t>(t);
 }
 
-int RoutedDesign::usage_at(int x, int y, WireType t) const {
-    const auto cols = placement_->device().cols();
-    return usage_[(static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
-                  static_cast<std::size_t>(t)];
-}
-
-bool RoutedDesign::segment_fits(const RouteSegment& seg) const {
+bool RoutedDesign::segment_fits(const RouteSegment& seg,
+                                const RouteScratch& scratch) const {
     const auto& params = wire_params(seg.type);
+    const int cols = placement_->device().cols();
+    const int rows = placement_->device().rows();
+    const int cap = capacity_.of(seg.type);
     int x = seg.x;
     int y = seg.y;
     for (int i = 0; i < params.span; ++i) {
-        if (x < 0 || x >= placement_->device().cols() || y < 0 ||
-            y >= placement_->device().rows())
+        if (x < 0 || x >= cols || y < 0 || y >= rows)
             return true;  // clipped at the die edge; remaining tiles are free
-        if (usage_at(x, y, seg.type) >= capacity_.of(seg.type)) return false;
+        const std::size_t idx =
+            (static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
+            static_cast<std::size_t>(seg.type);
+        if (usage_[idx] + scratch.delta_[idx] >= cap) return false;
         (seg.horizontal ? x : y) += seg.step;
     }
     return true;
 }
 
-void RoutedDesign::occupy(const RouteSegment& seg, int delta) {
+void RoutedDesign::occupy_scratch(const RouteSegment& seg, RouteScratch& scratch) const {
+    const auto& params = wire_params(seg.type);
+    const int cols = placement_->device().cols();
+    const int rows = placement_->device().rows();
+    int x = seg.x;
+    int y = seg.y;
+    for (int i = 0; i < params.span; ++i) {
+        if (x < 0 || x >= cols || y < 0 || y >= rows) break;
+        const std::size_t idx =
+            (static_cast<std::size_t>(y) * cols + x) * fabric::kWireTypeCount +
+            static_cast<std::size_t>(seg.type);
+        if (scratch.delta_[idx] == 0) scratch.touched_.push_back(idx);
+        ++scratch.delta_[idx];
+        (seg.horizontal ? x : y) += seg.step;
+    }
+}
+
+void RoutedDesign::commit_scratch(RouteScratch& scratch) {
+    for (const std::size_t idx : scratch.touched_) usage_[idx] += scratch.delta_[idx];
+    overflow_ += scratch.overflow_;
+    scratch.clear();
+}
+
+void RoutedDesign::occupy_live(const RouteSegment& seg, int delta) {
     const auto& params = wire_params(seg.type);
     int x = seg.x;
     int y = seg.y;
@@ -76,13 +101,15 @@ void RoutedDesign::occupy(const RouteSegment& seg, int delta) {
         if (x < 0 || x >= placement_->device().cols() || y < 0 ||
             y >= placement_->device().rows())
             break;
-        usage_at(x, y, seg.type) += delta;
+        usage_[usage_index(x, y, seg.type)] += delta;
         (seg.horizontal ? x : y) += seg.step;
     }
 }
 
-void RoutedDesign::route_axis(std::vector<RouteSegment>& segments, int fixed,
-                              int begin, int end, bool horizontal, RouteMode mode) {
+template <typename EmitSegment>
+void RoutedDesign::route_axis(int fixed, int begin, int end, bool horizontal,
+                              RouteMode mode, RouteScratch& scratch,
+                              EmitSegment&& emit) const {
     int pos = begin;
     const int step = end >= begin ? 1 : -1;
     int remaining = std::abs(end - begin);
@@ -104,7 +131,7 @@ void RoutedDesign::route_axis(std::vector<RouteSegment>& segments, int fixed,
             if (span > remaining) continue;
             RouteSegment seg{t, horizontal ? pos : fixed, horizontal ? fixed : pos,
                              horizontal, step};
-            if (!segment_fits(seg)) continue;
+            if (!segment_fits(seg, scratch)) continue;
             chosen = seg;
             found = true;
             break;
@@ -116,10 +143,10 @@ void RoutedDesign::route_axis(std::vector<RouteSegment>& segments, int fixed,
             const WireType t = WireType::Direct;
             chosen = RouteSegment{t, horizontal ? pos : fixed,
                                   horizontal ? fixed : pos, horizontal, step};
-            ++overflow_;
+            ++scratch.overflow_;
         }
-        occupy(chosen, +1);
-        segments.push_back(chosen);
+        occupy_scratch(chosen, scratch);
+        emit(chosen);
         const int advanced = std::min(wire_params(chosen.type).span, remaining);
         pos += advanced * step;
         remaining -= advanced;
@@ -127,12 +154,14 @@ void RoutedDesign::route_axis(std::vector<RouteSegment>& segments, int fixed,
 }
 
 SinkRoute RoutedDesign::route_connection(const SliceCoord& from, const SliceCoord& to,
-                                         PinRef sink, RouteMode mode) {
+                                         PinRef sink, RouteMode mode,
+                                         RouteScratch& scratch) const {
     SinkRoute route;
     route.sink = sink;
+    const auto collect = [&](const RouteSegment& seg) { route.segments.push_back(seg); };
     // L-shaped: horizontal first, then vertical.
-    route_axis(route.segments, from.y, from.x, to.x, true, mode);
-    route_axis(route.segments, to.x, from.y, to.y, false, mode);
+    route_axis(from.y, from.x, to.x, true, mode, scratch, collect);
+    route_axis(to.x, from.y, to.y, false, mode, scratch, collect);
 
     route.delay_ps = kPinDelayPs;
     route.capacitance_pf = kPinCapacitancePf;
@@ -144,25 +173,73 @@ SinkRoute RoutedDesign::route_connection(const SliceCoord& from, const SliceCoor
     return route;
 }
 
+double RoutedDesign::route_connection_cost(const SliceCoord& from,
+                                           const SliceCoord& to, RouteMode mode,
+                                           RouteScratch& scratch) const {
+    double capacitance_pf = kPinCapacitancePf;
+    const auto cost = [&](const RouteSegment& seg) {
+        capacitance_pf += wire_params(seg.type).capacitance_pf;
+    };
+    route_axis(from.y, from.x, to.x, true, mode, scratch, cost);
+    route_axis(to.x, from.y, to.y, false, mode, scratch, cost);
+    return capacitance_pf;
+}
+
+SliceCoord RoutedDesign::pos_of(netlist::CellId cell, SliceId moved,
+                                const SliceCoord* moved_pos) const {
+    if (moved_pos != nullptr) {
+        const SliceId s = placement_->design().slice_of(cell);
+        if (s.valid() && s == moved) return *moved_pos;
+    }
+    return placement_->cell_pos(cell);
+}
+
+void RoutedDesign::route_net_into(NetId net, RouteMode mode, SliceId moved,
+                                  const SliceCoord* moved_pos, NetRoute& out,
+                                  RouteScratch& scratch) const {
+    scratch.ensure_size(usage_.size());
+    const auto& nl = placement_->nl();
+    const auto& n = nl.net(net);
+    out.sinks.clear();
+    out.routed = true;
+    if (placement_->dedicated_net(net) || !n.driven()) return;
+    const SliceCoord from = pos_of(n.driver.cell, moved, moved_pos);
+    for (const PinRef& sink : n.sinks) {
+        const SliceCoord to = pos_of(sink.cell, moved, moved_pos);
+        out.sinks.push_back(route_connection(from, to, sink, mode, scratch));
+    }
+}
+
+double RoutedDesign::trial_route_capacitance_pf(NetId net, SliceId moved,
+                                                const SliceCoord& moved_pos,
+                                                RouteMode mode,
+                                                RouteScratch& scratch) const {
+    REFPGA_EXPECTS(net.value() < routes_.size());
+    scratch.ensure_size(usage_.size());
+    const auto& n = placement_->nl().net(net);
+    if (placement_->dedicated_net(net) || !n.driven()) return 0.0;
+    const SliceCoord from = pos_of(n.driver.cell, moved, &moved_pos);
+    double capacitance_pf = 0.0;
+    for (const PinRef& sink : n.sinks) {
+        const SliceCoord to = pos_of(sink.cell, moved, &moved_pos);
+        capacitance_pf += route_connection_cost(from, to, mode, scratch);
+    }
+    return capacitance_pf;
+}
+
 void RoutedDesign::rip_up(NetId net) {
     NetRoute& r = routes_[net.value()];
     for (const auto& sink : r.sinks)
-        for (const auto& seg : sink.segments) occupy(seg, -1);
+        for (const auto& seg : sink.segments) occupy_live(seg, -1);
     r.sinks.clear();
     r.routed = false;
 }
 
 void RoutedDesign::route_net(NetId net, RouteMode mode) {
-    const auto& nl = placement_->nl();
-    const auto& n = nl.net(net);
-    NetRoute& r = routes_[net.value()];
-    r.routed = true;
-    if (placement_->dedicated_net(net) || !n.driven()) return;
-    const SliceCoord from = placement_->cell_pos(n.driver.cell);
-    for (const PinRef& sink : n.sinks) {
-        const SliceCoord to = placement_->cell_pos(sink.cell);
-        r.sinks.push_back(route_connection(from, to, sink, mode));
-    }
+    live_scratch_.ensure_size(usage_.size());
+    live_scratch_.clear();
+    route_net_into(net, mode, SliceId{}, nullptr, routes_[net.value()], live_scratch_);
+    commit_scratch(live_scratch_);
 }
 
 void RoutedDesign::route_all(RouteMode mode) {
@@ -183,6 +260,11 @@ void RoutedDesign::reroute_net(NetId net, RouteMode mode) {
     REFPGA_EXPECTS(net.value() < routes_.size());
     rip_up(net);
     route_net(net, mode);
+}
+
+void RoutedDesign::unroute_net(NetId net) {
+    REFPGA_EXPECTS(net.value() < routes_.size());
+    rip_up(net);
 }
 
 std::string render_route(const RoutedDesign& design, NetId net) {

@@ -33,9 +33,14 @@ TimingReport analyze_timing(const RoutedDesign& routed, const CellDelays& delays
     std::vector<double> arrival(nl.cell_count(), -1.0);
     std::vector<CellId> pred(nl.cell_count(), CellId{});
 
-    // Connection delay from a routed net to one sink.
-    auto net_sink_delay = [&](NetId net, const netlist::PinRef& sink) {
+    // Connection delay from a routed net to one sink. Routes keep sinks in
+    // netlist order, so the indexed probe hits almost always; the scan is a
+    // fallback for partially re-routed nets.
+    auto net_sink_delay = [&](NetId net, const netlist::PinRef& sink,
+                              std::size_t sink_idx) {
         const NetRoute& r = routed.route(net);
+        if (sink_idx < r.sinks.size() && r.sinks[sink_idx].sink == sink)
+            return r.sinks[sink_idx].delay_ps;
         for (const auto& s : r.sinks)
             if (s.sink == sink) return s.delay_ps;
         return RoutedDesign::kPinDelayPs;  // unrouted/dedicated nets
@@ -64,9 +69,10 @@ TimingReport analyze_timing(const RoutedDesign& routed, const CellDelays& delays
             if (!out.valid()) continue;
             const auto& n = nl.net(out);
             if (n.is_clock) continue;
-            for (const auto& sink : n.sinks) {
+            for (std::size_t si = 0; si < n.sinks.size(); ++si) {
+                const auto& sink = n.sinks[si];
                 const Cell& sc = nl.cell(sink.cell);
-                const double wire = net_sink_delay(out, sink);
+                const double wire = net_sink_delay(out, sink, si);
                 double t = arrival[ci] + wire;
                 if (sc.sequential() || sc.kind == CellKind::Outpad) {
                     // Path endpoint: add setup for FFs.
@@ -100,6 +106,14 @@ TimingReport analyze_timing(const RoutedDesign& routed, const CellDelays& delays
     }
     std::reverse(report.critical_cells.begin(), report.critical_cells.end());
     return report;
+}
+
+std::vector<bool> critical_cell_mask(const TimingReport& report,
+                                     std::size_t cell_count) {
+    std::vector<bool> mask(cell_count, false);
+    for (const CellId cell : report.critical_cells)
+        if (cell.valid() && cell.value() < cell_count) mask[cell.value()] = true;
+    return mask;
 }
 
 }  // namespace refpga::par

@@ -40,9 +40,12 @@ PowerReport estimate_power(const par::RoutedDesign& routed,
             entries.push_back({net, nl.net(net).name, p_uw, c_pf, rate});
     }
 
+    // Tie-break equal powers on net id so the top-N cut is deterministic
+    // regardless of the (unspecified) std::sort order for equal keys.
     std::sort(entries.begin(), entries.end(),
               [](const NetPowerEntry& a, const NetPowerEntry& b) {
-                  return a.power_uw > b.power_uw;
+                  if (a.power_uw != b.power_uw) return a.power_uw > b.power_uw;
+                  return a.net.value() < b.net.value();
               });
     if (entries.size() > top_net_count) entries.resize(top_net_count);
     report.top_nets = std::move(entries);
