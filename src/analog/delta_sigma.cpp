@@ -63,10 +63,8 @@ std::optional<std::int32_t> DeltaSigmaAdc::step(double in) {
         v -= prev;
     }
 
-    const double norm = static_cast<double>(v) / full_scale_;  // roughly [-1, 1]
-    const double max_code = static_cast<double>((std::int64_t{1} << (output_bits_ - 1)) - 1);
-    const double scaled = std::clamp(norm, -1.0, 1.0) * max_code;
-    return static_cast<std::int32_t>(std::lround(scaled));
+    return quantize(v, full_scale_, static_cast<double>(max_code()),
+                    static_cast<double>(min_code()));
 }
 
 void DeltaSigmaAdc::reset() {

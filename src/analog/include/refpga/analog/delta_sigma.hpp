@@ -9,10 +9,16 @@
 // our FFT-based bench (Fig. 3) repeats that check.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
 
+#include "refpga/common/contracts.hpp"
+
 namespace refpga::analog {
+
+class FrontEnd;  // block-streaming kernel (frontend.cpp) reads state directly
 
 /// Single-pole RC low-pass, advanced at a fixed sample rate.
 class RcFilter {
@@ -25,6 +31,7 @@ public:
     void reset() { state_ = 0.0; }
 
 private:
+    friend class FrontEnd;
     double alpha_;
     double state_ = 0.0;
 };
@@ -45,6 +52,7 @@ public:
     }
 
 private:
+    friend class FrontEnd;
     RcFilter a_;
     RcFilter b_;
 };
@@ -76,7 +84,42 @@ public:
     [[nodiscard]] int decimation() const { return decimation_; }
     [[nodiscard]] int output_bits() const { return output_bits_; }
 
+    /// Largest representable PCM code, 2^(bits-1) - 1.
+    [[nodiscard]] std::int32_t max_code() const {
+        return static_cast<std::int32_t>((std::int64_t{1} << (output_bits_ - 1)) - 1);
+    }
+    /// Smallest representable PCM code, -2^(bits-1). The clamp below admits
+    /// the full two's-complement range, not just -max_code.
+    [[nodiscard]] std::int32_t min_code() const { return -max_code() - 1; }
+
+    /// Shared quantization tail of the CIC output: normalize by the CIC gain,
+    /// clamp symmetrically to the representable two's-complement range
+    /// [min_code, max_code] and round. Used by both the per-sample step() and
+    /// the fused block kernel (refpga::analog::FrontEnd), so the two paths
+    /// cannot drift apart.
+    [[nodiscard]] static std::int32_t quantize(std::int64_t v, double full_scale,
+                                               double max_code, double min_code) {
+        const double norm = static_cast<double>(v) / full_scale;  // roughly [-1, 1]
+        const double scaled = std::clamp(norm * max_code, min_code, max_code);
+        // std::lround(scaled), computed without the libm call: a call inside
+        // the fused block kernel's PCM tail would force the compiler to spill
+        // the whole register-resident pipeline state around it. |scaled| is
+        // at most 2^23 (24-bit PCM), so the truncation is in range and
+        // `scaled - truncated` is an exact cancellation; comparing that
+        // fraction against +/-0.5 reproduces lround's
+        // round-half-away-from-zero semantics bit-for-bit, branch-free.
+        const auto truncated = static_cast<std::int32_t>(scaled);
+        const double frac = scaled - static_cast<double>(truncated);
+        const std::int32_t out = truncated +
+                                 static_cast<std::int32_t>(frac >= 0.5) -
+                                 static_cast<std::int32_t>(frac <= -0.5);
+        REFPGA_ENSURES(static_cast<double>(out) >= min_code &&
+                       static_cast<double>(out) <= max_code);
+        return out;
+    }
+
 private:
+    friend class FrontEnd;
     int decimation_;
     int output_bits_;
     // Modulator state.

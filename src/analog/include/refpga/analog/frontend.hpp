@@ -2,15 +2,28 @@
 // anti-alias filters -> dual delta-sigma ADCs (measurement + reference).
 //
 // Two drive variants mirror the paper's §4.1 progression:
-//   - step_code8(): the first prototype's external 8-bit DAC;
-//   - step_ds_bit(): the improved design's on-chip delta-sigma DAC bit,
-//     reconstructed by the external RC low-pass.
+//   - step_code8() / run_block_code8(): the first prototype's external 8-bit
+//     DAC;
+//   - step_ds_bit() / run_block_ds(): the improved design's on-chip
+//     delta-sigma DAC bit, reconstructed by the external RC low-pass.
+//
+// Streaming layer: the sample path is block-oriented. run_block_*() advances
+// N modulator ticks per call through one fused, branch-light inner loop
+// (reconstruction, tank + noise, anti-alias, modulators, 3-stage CIC) with
+// all filter/modulator state held in locals, writing PCM pairs into a
+// caller-owned SampleBlock. The per-sample step_*() entry points are thin
+// wrappers over a block of one tick. Determinism rule: for a given drive
+// sequence the PCM stream — including the tank-noise RNG draw order — is
+// bit-identical for every block partitioning, and bit-identical to the
+// retained per-sample reference path (pinned by tests/test_frontend_stream).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "refpga/analog/delta_sigma.hpp"
+#include "refpga/analog/sample_block.hpp"
 #include "refpga/analog/tank.hpp"
 
 namespace refpga::analog {
@@ -23,6 +36,16 @@ struct FrontEndConfig {
     double recon_cutoff_hz = 1.5e6;   ///< DAC reconstruction low-pass
     double antialias_cutoff_hz = 800e3;
     TankParams tank;
+
+    /// Throws refpga::ContractViolation unless the config describes a
+    /// realizable front end: positive finite rates, the excitation and both
+    /// filter cutoffs below the modulator Nyquist rate, adc_decimation and
+    /// adc_bits within the DeltaSigmaAdc bounds, and a non-negative tank
+    /// noise level. A degenerate config (zero clock, cutoff at or above
+    /// Nyquist, decimation of 1) would otherwise produce NaN filter poles or
+    /// violate converter contracts deep inside the sample loop. Mirrors
+    /// reconfig::ConfigPortSpec::validate().
+    void validate() const;
 };
 
 class FrontEnd {
@@ -44,13 +67,39 @@ public:
 
     /// One modulator-rate step driven by an 8-bit DAC code (0..255 maps to
     /// [-1, 1) volts). Yields a PCM pair every adc_decimation steps.
+    /// Thin wrapper over run_block_code8 with a block of one tick.
     std::optional<PcmPair> step_code8(std::uint8_t code);
 
     /// One modulator-rate step driven by a delta-sigma DAC output bit.
+    /// Thin wrapper over run_block_ds with a block of one tick.
     std::optional<PcmPair> step_ds_bit(bool bit);
 
+    /// Reference per-sample path retained from the pre-streaming front end:
+    /// advances through the individual component step() calls. Used as the
+    /// parity baseline the fused block kernel must match bit-for-bit; not a
+    /// hot path.
+    std::optional<PcmPair> step_code8_reference(std::uint8_t code);
+    std::optional<PcmPair> step_ds_bit_reference(bool bit);
+
+    /// Modulator ticks until `pcm_pairs` more PCM pairs fire (accounts for
+    /// the ADCs' current decimation phase).
+    [[nodiscard]] long ticks_for_pcm(long pcm_pairs) const;
+
+    /// Advances one modulator tick per drive element (delta-sigma bits,
+    /// nonzero = +1 V) and appends every fired PCM pair to out.meas/out.ref.
+    /// Returns the number of pairs appended. The caller owns the block and
+    /// its capacity; run_block never shrinks it.
+    std::size_t run_block_ds(std::span<const std::uint8_t> bits, SampleBlock& out);
+
+    /// Same, driven by 8-bit DAC codes.
+    std::size_t run_block_code8(std::span<const std::uint8_t> codes, SampleBlock& out);
+
 private:
-    std::optional<PcmPair> advance(double drive_raw_v);
+    std::optional<PcmPair> advance_reference(double drive_raw_v);
+
+    template <bool kNoisy, typename DriveToVolts>
+    std::size_t run_block_impl(const std::uint8_t* drive, std::size_t n,
+                               SampleBlock& out, DriveToVolts to_volts);
 
     FrontEndConfig config_;
     TankCircuit tank_;
@@ -59,6 +108,7 @@ private:
     RcFilter2 alias_ref_;
     DeltaSigmaAdc adc_meas_;
     DeltaSigmaAdc adc_ref_;
+    SampleBlock step_scratch_;  ///< block-of-1 storage for the step_* wrappers
 };
 
 }  // namespace refpga::analog

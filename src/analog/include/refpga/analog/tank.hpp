@@ -13,6 +13,8 @@
 
 namespace refpga::analog {
 
+class FrontEnd;  // block-streaming kernel (frontend.cpp) reads state directly
+
 struct TankParams {
     double c_empty_pf = 60.0;   ///< probe capacitance, empty tank
     double c_full_pf = 480.0;   ///< probe capacitance, full tank
@@ -47,8 +49,14 @@ public:
     [[nodiscard]] std::complex<double> ref_response(double freq_hz) const;
 
 private:
+    friend class FrontEnd;
     TankParams params_;
-    double sample_dt_;
+    // Precomputed reciprocals: the differentiator and the leak current sit on
+    // the 16 MHz sample path, and a divide there costs more than the rest of
+    // the tank arithmetic combined. Both the per-sample and the block kernel
+    // multiply by these same values, keeping the two paths bit-identical.
+    double inv_dt_;
+    double g_leak_;
     double level_ = 0.0;
     double prev_drive_ = 0.0;
     bool primed_ = false;

@@ -8,7 +8,10 @@
 namespace refpga::analog {
 
 TankCircuit::TankCircuit(TankParams params, double sample_hz, std::uint64_t noise_seed)
-    : params_(params), sample_dt_(1.0 / sample_hz), rng_(noise_seed) {
+    : params_(params),
+      inv_dt_(sample_hz),
+      g_leak_(1.0 / params.r_leak_ohm),
+      rng_(noise_seed) {
     REFPGA_EXPECTS(sample_hz > 0.0);
     REFPGA_EXPECTS(params_.c_full_pf > params_.c_empty_pf);
 }
@@ -29,18 +32,24 @@ TankCircuit::Currents TankCircuit::step(double drive_v) {
         primed_ = true;
         return out;
     }
-    const double dv_dt = (drive_v - prev_drive_) / sample_dt_;
+    const double dv_dt = (drive_v - prev_drive_) * inv_dt_;
     prev_drive_ = drive_v;
 
     // Branch currents: i = C dv/dt (+ v/R for the leaky probe).
     const double c_probe = probe_capacitance_pf() * 1e-12;
-    const double i_meas = c_probe * dv_dt + drive_v / params_.r_leak_ohm;
+    const double i_meas = c_probe * dv_dt + drive_v * g_leak_;
     const double i_ref = params_.c_ref_pf * 1e-12 * dv_dt;
 
-    out.meas_v = i_meas * params_.tia_gain_v_per_a +
-                 params_.noise_rms_v * rng_.next_gaussian();
-    out.ref_v = i_ref * params_.tia_gain_v_per_a +
-                params_.noise_rms_v * rng_.next_gaussian();
+    out.meas_v = i_meas * params_.tia_gain_v_per_a;
+    out.ref_v = i_ref * params_.tia_gain_v_per_a;
+    if (params_.noise_rms_v > 0.0) {
+        // Draw order (meas, then ref) is part of the front end's determinism
+        // contract. At zero RMS the noise term is a signed zero, which cannot
+        // change any downstream sample, so the draws are skipped entirely —
+        // the Gaussian synthesis is the single most expensive part of a tick.
+        out.meas_v += params_.noise_rms_v * rng_.next_gaussian();
+        out.ref_v += params_.noise_rms_v * rng_.next_gaussian();
+    }
     return out;
 }
 

@@ -90,19 +90,44 @@ SinusGenModel::SinusGenModel(const AppParams&) {
 SinusGenModel::Step SinusGenModel::step() {
     Step out;
     out.code8 = static_cast<std::uint32_t>(table_[addr_]);
-    // Mirror the netlist: out bit from current s2; s2 integrates the new s1.
-    const bool bit = s2_ >= 0;
-    const std::int32_t u = static_cast<std::int32_t>(out.code8) - 128;
-    const std::int32_t fb = bit ? 128 : -128;
-    const std::int32_t s1_new = decode_signed(
-        static_cast<std::uint32_t>(s1_ + u - fb), 14);
-    const std::int32_t s2_new = decode_signed(
-        static_cast<std::uint32_t>(s2_ + s1_new - fb), 16);
-    s1_ = s1_new;
-    s2_ = s2_new;
-    out.ds_bit = bit;
-    addr_ = (addr_ + 1) & 31;
+    std::uint8_t bit = 0;
+    run_block_bits(1, &bit);
+    out.ds_bit = bit != 0;
     return out;
+}
+
+template <bool kEmitBits>
+void SinusGenModel::run_block(std::size_t n, std::uint8_t* out) {
+    // Fused phase/LUT/modulator batch: the 32-entry table pointer, address
+    // and both integrators stay in registers for the whole block. Arithmetic
+    // mirrors the netlist exactly (out bit from current s2; s2 integrates
+    // the new s1; integrators wrap at 14/16 bits via decode_signed).
+    const std::int32_t* table = table_.data();
+    std::uint32_t addr = addr_;
+    std::int32_t s1 = s1_;
+    std::int32_t s2 = s2_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t code8 = table[addr];
+        const bool bit = s2 >= 0;
+        const std::int32_t u = code8 - 128;
+        const std::int32_t fb = bit ? 128 : -128;
+        s1 = decode_signed(static_cast<std::uint32_t>(s1 + u - fb), 14);
+        s2 = decode_signed(static_cast<std::uint32_t>(s2 + s1 - fb), 16);
+        out[i] = kEmitBits ? static_cast<std::uint8_t>(bit)
+                           : static_cast<std::uint8_t>(code8);
+        addr = (addr + 1) & 31;
+    }
+    addr_ = addr;
+    s1_ = s1;
+    s2_ = s2;
+}
+
+void SinusGenModel::run_block_bits(std::size_t n, std::uint8_t* bits) {
+    run_block<true>(n, bits);
+}
+
+void SinusGenModel::run_block_codes(std::size_t n, std::uint8_t* codes) {
+    run_block<false>(n, codes);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,9 @@
 // accumulator registers, qualified by `done`.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "refpga/app/params.hpp"
 #include "refpga/netlist/builder.hpp"
 
@@ -30,14 +33,25 @@ struct SinusGeneratorIo {
 class SinusGenModel {
 public:
     explicit SinusGenModel(const AppParams& params);
-    /// One 16 MHz tick: returns {code8, ds_bit}.
+    /// One 16 MHz tick: returns {code8, ds_bit}. Thin wrapper over a block
+    /// of one tick.
     struct Step {
         std::uint32_t code8 = 0;
         bool ds_bit = false;
     };
     Step step();
 
+    /// Batch drive generation for the block-streaming front end: advances
+    /// `n` ticks through one fused LUT/phase/modulator loop, writing the
+    /// delta-sigma bit (0/1) of each tick into `bits`.
+    void run_block_bits(std::size_t n, std::uint8_t* bits);
+    /// Same, writing the 8-bit DAC code of each tick into `codes`.
+    void run_block_codes(std::size_t n, std::uint8_t* codes);
+
 private:
+    template <bool kEmitBits>
+    void run_block(std::size_t n, std::uint8_t* out);
+
     std::vector<std::int32_t> table_;
     std::uint32_t addr_ = 0;
     std::int32_t s1_ = 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "refpga/analog/frontend.hpp"
+#include "refpga/analog/sample_block.hpp"
 #include "refpga/app/golden.hpp"
 #include "refpga/app/hw_modules.hpp"
 #include "refpga/app/params.hpp"
@@ -43,6 +44,12 @@ struct SystemOptions {
     /// Settling windows discarded before the measured window (analog filters
     /// and the CIC need to charge up).
     int settle_windows = 2;
+    /// Modulator ticks advanced per front-end block in the sampling phase.
+    /// Any positive value yields bit-identical PCM, cycle reports and
+    /// campaign reports (pinned by tests/test_frontend_stream); larger
+    /// blocks amortize per-call state marshalling over more ticks. 0 selects
+    /// the retained per-sample reference path (parity baseline, slow).
+    int stream_block_ticks = 4096;
 
     /// Fault environment (refpga::fault). The default all-zero spec injects
     /// nothing and the results stay bit-identical to the fault-free system;
@@ -114,8 +121,15 @@ public:
     [[nodiscard]] double true_level() const;
 
     /// Runs one full measurement cycle (sampling -> processing [-> reconfig
-    /// between stages]) and returns the report.
+    /// between stages]) and returns the report. Uses an internal sample
+    /// block, grown once and reused across cycles.
     CycleReport run_cycle();
+
+    /// Same, streaming the sample window through a caller-owned block —
+    /// refpga::fleet passes one per worker thread so campaign scenarios
+    /// share buffers instead of reallocating. The block is scratch: its
+    /// contents are overwritten and carry no state between calls.
+    CycleReport run_cycle(analog::SampleBlock& block);
 
     [[nodiscard]] const reconfig::ReconfigController& controller() const {
         return controller_;
@@ -127,7 +141,8 @@ public:
     [[nodiscard]] long cycles_run() const { return cycles_run_; }
 
 private:
-    void collect_window(std::vector<std::int32_t>& meas, std::vector<std::int32_t>& ref);
+    void collect_window(analog::SampleBlock& block, std::vector<std::int32_t>& meas,
+                        std::vector<std::int32_t>& ref);
     void inject_upsets_until(double t_s);
     void apply_glitch(const fault::Glitch& glitch, std::vector<std::int32_t>& meas,
                       std::vector<std::int32_t>& ref);
@@ -146,6 +161,7 @@ private:
     reconfig::Scrubber scrubber_;        // references config_mem_
     fault::FaultPlan plan_;
     fault::FaultStats stats_;
+    analog::SampleBlock block_;  ///< default streaming buffers for run_cycle()
     long cycles_run_ = 0;
 
     // Self-healing state.

@@ -60,6 +60,7 @@ MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_
     REFPGA_EXPECTS(options_.max_level_jump > 0.0);
     REFPGA_EXPECTS(options_.plausibility_patience >= 1);
     REFPGA_EXPECTS(options_.load_max_retries >= 0);
+    REFPGA_EXPECTS(options_.settle_windows >= 0);
 
     // Power-up configures the whole device; from then on every column is
     // covered by readback scrubbing.
@@ -100,26 +101,58 @@ void MeasurementSystem::set_true_level(double level) {
 
 double MeasurementSystem::true_level() const { return frontend_.tank().level(); }
 
-void MeasurementSystem::collect_window(std::vector<std::int32_t>& meas,
+void MeasurementSystem::collect_window(analog::SampleBlock& block,
+                                       std::vector<std::int32_t>& meas,
                                        std::vector<std::int32_t>& ref) {
     const AppParams& p = options_.params;
     meas.clear();
     ref.clear();
     const int needed = p.window * (1 + options_.settle_windows);
-    int collected = 0;
-    while (collected < needed) {
-        const SinusGenModel::Step drive = sinusgen_.step();
-        const auto pcm = options_.use_ds_dac
-                             ? frontend_.step_ds_bit(drive.ds_bit)
-                             : frontend_.step_code8(
-                                   static_cast<std::uint8_t>(drive.code8));
-        if (!pcm) continue;
-        ++collected;
-        if (collected > options_.settle_windows * p.window) {
-            meas.push_back(pcm->meas);
-            ref.push_back(pcm->ref);
+
+    if (options_.stream_block_ticks <= 0) {
+        // Per-sample reference path (parity baseline for the block pipeline).
+        int collected = 0;
+        while (collected < needed) {
+            const SinusGenModel::Step drive = sinusgen_.step();
+            const auto pcm = options_.use_ds_dac
+                                 ? frontend_.step_ds_bit_reference(drive.ds_bit)
+                                 : frontend_.step_code8_reference(
+                                       static_cast<std::uint8_t>(drive.code8));
+            if (!pcm) continue;
+            ++collected;
+            if (collected > options_.settle_windows * p.window) {
+                meas.push_back(pcm->meas);
+                ref.push_back(pcm->ref);
+            }
         }
+        return;
     }
+
+    // Block-streaming path: generate the drive batch, then push it through
+    // the fused front-end kernel, stream_block_ticks modulator ticks at a
+    // time. ticks_for_pcm accounts for the ADC decimation phase carried over
+    // from the previous cycle, so the settle-plus-measurement window always
+    // lands exactly `needed` PCM pairs.
+    block.clear_pcm();
+    block.reserve_pcm(static_cast<std::size_t>(needed));
+    long remaining = frontend_.ticks_for_pcm(needed);
+    while (remaining > 0) {
+        const long n = std::min<long>(options_.stream_block_ticks, remaining);
+        block.drive.resize(static_cast<std::size_t>(n));
+        if (options_.use_ds_dac) {
+            sinusgen_.run_block_bits(static_cast<std::size_t>(n), block.drive.data());
+            frontend_.run_block_ds(block.drive, block);
+        } else {
+            sinusgen_.run_block_codes(static_cast<std::size_t>(n), block.drive.data());
+            frontend_.run_block_code8(block.drive, block);
+        }
+        remaining -= n;
+    }
+    REFPGA_ENSURES(block.pcm_size() == static_cast<std::size_t>(needed));
+
+    const auto skip = static_cast<std::ptrdiff_t>(options_.settle_windows) * p.window;
+    meas.assign(block.meas.begin() + skip, block.meas.end());
+    ref.assign(block.ref.begin() + skip, block.ref.end());
 }
 
 void MeasurementSystem::inject_upsets_until(double t_s) {
@@ -226,7 +259,9 @@ void MeasurementSystem::run_scrub_phase(CycleReport& report, double cycle_start_
     });
 }
 
-CycleReport MeasurementSystem::run_cycle() {
+CycleReport MeasurementSystem::run_cycle() { return run_cycle(block_); }
+
+CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
     const AppParams& p = options_.params;
     CycleReport report;
     double t = 0.0;
@@ -236,7 +271,7 @@ CycleReport MeasurementSystem::run_cycle() {
     // --- Phase 1: AD conversion of the measurement/reference signals --------
     std::vector<std::int32_t> meas;
     std::vector<std::int32_t> ref;
-    collect_window(meas, ref);
+    collect_window(block, meas, ref);
     apply_glitch(plan_.next_glitch(), meas, ref);
     report.sampling_s = static_cast<double>(p.window * (1 + options_.settle_windows)) /
                         p.pcm_rate_hz();

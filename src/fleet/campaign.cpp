@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "refpga/analog/sample_block.hpp"
 #include "refpga/analog/tank.hpp"
 #include "refpga/common/contracts.hpp"
 #include "refpga/fleet/thread_pool.hpp"
@@ -90,7 +91,14 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         options.port = make_port(s.port);
         options.tank_noise_rms_v = s.noise_rms_v;
         options.fault = s.fault;
+        options.stream_block_ticks = campaign.stream_block_ticks;
         app::MeasurementSystem system(options, s.seed);
+
+        // One streaming buffer per worker thread, shared by every scenario
+        // that worker runs: the sample window streams through warm storage
+        // instead of reallocating per scenario. Scratch only — outcomes stay
+        // independent of which worker (and hence which buffer) ran them.
+        thread_local analog::SampleBlock stream_block;
 
         // Accuracy uses the per-cycle capacitance estimate inverted to a
         // level, not the filtered output: the EMA deliberately trails fill
@@ -106,7 +114,7 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         for (int c = 0; c < s.cycles; ++c) {
             const double level = s.fill.level_at(c, s.cycles);
             system.set_true_level(level);
-            const app::CycleReport report = system.run_cycle();
+            const app::CycleReport report = system.run_cycle(stream_block);
             const double measured =
                 analog::level_from_capacitance(tank, report.capacitance_pf);
             const double err = std::abs(measured - level);

@@ -77,6 +77,12 @@ struct CampaignOptions {
     /// Worker threads; 1 runs inline on the calling thread. The report is
     /// identical either way (see determinism guarantee above).
     int threads = 1;
+    /// Front-end streaming block size (modulator ticks) applied to every
+    /// scenario's system; each worker thread keeps one reusable
+    /// analog::SampleBlock, so the sampling hot path never reallocates
+    /// between scenarios. Outcomes are bit-identical for every value
+    /// (0 = per-sample reference path; see app::SystemOptions).
+    int stream_block_ticks = 4096;
     /// Test instrumentation: invoked inside each scenario's try-block before
     /// its system is built, so tests can exercise failure isolation
     /// (including non-std::exception throws). Empty in production use.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "refpga/analog/delta_sigma.hpp"
 #include "refpga/analog/dsp.hpp"
@@ -142,6 +145,84 @@ TEST_P(AdcLinearity, DcInputRecoveredProportionally) {
 
 INSTANTIATE_TEST_SUITE_P(DcLevels, AdcLinearity,
                          ::testing::Values(-0.8, -0.3, 0.0, 0.25, 0.6));
+
+// The recursive CIC (integrators at the modulator rate, combs at the
+// decimated rate) must equal its textbook definition: the modulator bit
+// stream convolved with ones(R) three times — a direct O(N*R) triple
+// moving average — sampled at every R-th tick, then quantized identically.
+TEST(DeltaSigmaAdc, CicMatchesMovingAverageReference) {
+    for (const int decim : {2, 5, 8, 32}) {
+        DeltaSigmaAdc adc(decim, 12);
+
+        // w = ones(R) convolved with itself twice more (length 3R - 2).
+        std::vector<std::int64_t> w(1, 1);
+        for (int stage = 0; stage < 3; ++stage) {
+            std::vector<std::int64_t> next(w.size() + decim - 1, 0);
+            for (std::size_t i = 0; i < w.size(); ++i)
+                for (int j = 0; j < decim; ++j) next[i + j] += w[i];
+            w = std::move(next);
+        }
+
+        // Run the ADC while mirroring its modulator to capture the +/-1
+        // bit stream the CIC actually integrates.
+        const int outputs = 60;
+        const int n = outputs * decim;
+        double s1 = 0.0;
+        double s2 = 0.0;
+        std::vector<std::int64_t> bits;
+        std::vector<std::int32_t> actual;
+        for (int i = 0; i < n; ++i) {
+            const double u = 0.4 * std::sin(2.0 * M_PI * i / (7.0 * decim)) + 0.1;
+            const double y = s2 >= 0.0 ? 1.0 : -1.0;
+            s1 += std::clamp(u, -1.0, 1.0) - y;
+            s2 += s1 - y;
+            bits.push_back(y > 0.0 ? 1 : -1);
+            if (const auto pcm = adc.step(u)) actual.push_back(*pcm);
+        }
+        ASSERT_EQ(actual.size(), static_cast<std::size_t>(outputs));
+
+        const double full_scale = std::pow(static_cast<double>(decim), 3.0);
+        for (int m = 0; m < outputs; ++m) {
+            const int t = (m + 1) * decim - 1;  // tick of the m-th PCM output
+            std::int64_t v = 0;
+            for (std::size_t j = 0; j < w.size() && static_cast<int>(j) <= t; ++j)
+                v += w[j] * bits[static_cast<std::size_t>(t) - j];
+            EXPECT_EQ(actual[static_cast<std::size_t>(m)],
+                      DeltaSigmaAdc::quantize(v, full_scale,
+                                              static_cast<double>(adc.max_code()),
+                                              static_cast<double>(adc.min_code())))
+                << "R=" << decim << " m=" << m;
+        }
+    }
+}
+
+TEST(DeltaSigmaAdc, QuantizeClampsSymmetrically) {
+    // 8-bit range [-128, 127]: positive overloads saturate at max_code,
+    // negative overloads at min_code — not at -max_code as the old
+    // asymmetric clamp did.
+    EXPECT_EQ(DeltaSigmaAdc::quantize(64, 64.0, 127.0, -128.0), 127);
+    EXPECT_EQ(DeltaSigmaAdc::quantize(-64, 64.0, 127.0, -128.0), -127);
+    EXPECT_EQ(DeltaSigmaAdc::quantize(70, 64.0, 127.0, -128.0), 127);
+    EXPECT_EQ(DeltaSigmaAdc::quantize(-70, 64.0, 127.0, -128.0), -128);
+    EXPECT_EQ(DeltaSigmaAdc::quantize(0, 64.0, 127.0, -128.0), 0);
+}
+
+TEST(DeltaSigmaAdc, OutputFitsOutputBitsUnderOverdrive) {
+    DeltaSigmaAdc probe(4, 8);
+    EXPECT_EQ(probe.max_code(), 127);
+    EXPECT_EQ(probe.min_code(), -128);
+    // Slam the modulator against both rails (inputs are clipped to [-1, 1]
+    // internally): every PCM word must stay inside the 8-bit range.
+    for (const double u : {-5.0, -1.0, 1.0, 5.0}) {
+        DeltaSigmaAdc adc(4, 8);
+        for (int i = 0; i < 400; ++i) {
+            if (const auto s = adc.step(u)) {
+                EXPECT_GE(*s, adc.min_code());
+                EXPECT_LE(*s, adc.max_code());
+            }
+        }
+    }
+}
 
 // ---------------------------------------------------------------- tank
 

@@ -1,0 +1,321 @@
+// Parity suite for the block-streaming front end: the fused run_block_*
+// kernel, the block-of-1 step_*() wrappers, the system sample window and
+// whole campaign reports must stay bit-identical to the retained per-sample
+// reference path for every block partitioning — including the tank-noise RNG
+// draw order and fault-armed runs. Any divergence here means the streaming
+// refactor changed the signal, not just its batching.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "refpga/analog/frontend.hpp"
+#include "refpga/analog/sample_block.hpp"
+#include "refpga/app/hw_modules.hpp"
+#include "refpga/app/system.hpp"
+#include "refpga/common/contracts.hpp"
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/report.hpp"
+#include "refpga/fleet/scenario.hpp"
+
+namespace refpga {
+namespace {
+
+constexpr int kBlockSizes[] = {1, 7, 64, 4096};
+
+// ---------------------------------------------------------- sinus generator
+
+TEST(SinusGenStream, BlockBitsMatchPerTickSteps) {
+    const std::size_t ticks = 1000;
+    app::SinusGenModel per_tick{app::AppParams{}};
+    app::SinusGenModel block{app::AppParams{}};
+    std::vector<std::uint8_t> bits(ticks);
+    std::vector<std::uint8_t> codes(ticks);
+    block.run_block_bits(ticks, bits.data());
+    app::SinusGenModel block2{app::AppParams{}};
+    block2.run_block_codes(ticks, codes.data());
+    for (std::size_t i = 0; i < ticks; ++i) {
+        const app::SinusGenModel::Step s = per_tick.step();
+        EXPECT_EQ(bits[i], s.ds_bit ? 1 : 0) << "tick " << i;
+        EXPECT_EQ(codes[i], static_cast<std::uint8_t>(s.code8)) << "tick " << i;
+    }
+}
+
+// --------------------------------------------------------------- front end
+
+struct PcmStream {
+    std::vector<std::int32_t> meas;
+    std::vector<std::int32_t> ref;
+};
+
+// Drive sequence shared by every partitioning: the real sinus generator's
+// delta-sigma bits or DAC codes, so the parity run exercises the same
+// waveforms the system does.
+std::vector<std::uint8_t> make_drive(std::size_t ticks, bool ds_bits) {
+    app::SinusGenModel gen{app::AppParams{}};
+    std::vector<std::uint8_t> drive(ticks);
+    if (ds_bits)
+        gen.run_block_bits(ticks, drive.data());
+    else
+        gen.run_block_codes(ticks, drive.data());
+    return drive;
+}
+
+analog::FrontEndConfig make_config(double noise_rms) {
+    analog::FrontEndConfig config;
+    config.tank.noise_rms_v = noise_rms;
+    return config;
+}
+
+PcmStream reference_stream(const analog::FrontEndConfig& config,
+                           const std::vector<std::uint8_t>& drive, bool ds_bits) {
+    analog::FrontEnd frontend(config, 42);
+    frontend.tank().set_level(0.6);
+    PcmStream stream;
+    for (std::uint8_t d : drive) {
+        const auto pcm = ds_bits ? frontend.step_ds_bit_reference(d != 0)
+                                 : frontend.step_code8_reference(d);
+        if (pcm) {
+            stream.meas.push_back(pcm->meas);
+            stream.ref.push_back(pcm->ref);
+        }
+    }
+    return stream;
+}
+
+void expect_block_parity(double noise_rms, bool ds_bits) {
+    // Deliberately not a multiple of any tested block size, so every
+    // partitioning ends on a ragged tail and mid-decimation ADC phase.
+    const std::size_t ticks = 12347;
+    const std::vector<std::uint8_t> drive = make_drive(ticks, ds_bits);
+    const analog::FrontEndConfig config = make_config(noise_rms);
+    const PcmStream want = reference_stream(config, drive, ds_bits);
+    ASSERT_EQ(want.meas.size(), ticks / static_cast<std::size_t>(config.adc_decimation));
+
+    for (int block_size : kBlockSizes) {
+        analog::FrontEnd frontend(config, 42);
+        frontend.tank().set_level(0.6);
+        analog::SampleBlock block;
+        for (std::size_t at = 0; at < ticks;) {
+            const std::size_t n =
+                std::min<std::size_t>(static_cast<std::size_t>(block_size), ticks - at);
+            const std::span<const std::uint8_t> chunk(drive.data() + at, n);
+            if (ds_bits)
+                frontend.run_block_ds(chunk, block);
+            else
+                frontend.run_block_code8(chunk, block);
+            at += n;
+        }
+        EXPECT_EQ(block.meas, want.meas) << "block size " << block_size;
+        EXPECT_EQ(block.ref, want.ref) << "block size " << block_size;
+    }
+}
+
+TEST(FrontEndStream, DsDriveMatchesReferenceAcrossBlockSizes) {
+    expect_block_parity(1e-3, true);
+}
+
+TEST(FrontEndStream, DsDriveNoiselessMatchesReference) {
+    expect_block_parity(0.0, true);
+}
+
+TEST(FrontEndStream, Code8DriveMatchesReferenceAcrossBlockSizes) {
+    expect_block_parity(1e-3, false);
+}
+
+TEST(FrontEndStream, Code8DriveNoiselessMatchesReference) {
+    expect_block_parity(0.0, false);
+}
+
+TEST(FrontEndStream, StepWrappersMatchReferencePath) {
+    const std::vector<std::uint8_t> drive = make_drive(4000, true);
+    analog::FrontEnd wrapped(make_config(1e-3), 9);
+    analog::FrontEnd reference(make_config(1e-3), 9);
+    wrapped.tank().set_level(0.3);
+    reference.tank().set_level(0.3);
+    for (std::uint8_t d : drive) {
+        const auto a = wrapped.step_ds_bit(d != 0);
+        const auto b = reference.step_ds_bit_reference(d != 0);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a) {
+            EXPECT_EQ(a->meas, b->meas);
+            EXPECT_EQ(a->ref, b->ref);
+        }
+    }
+}
+
+TEST(FrontEndStream, TicksForPcmTracksDecimationPhase) {
+    analog::FrontEnd frontend;  // adc_decimation = 5
+    EXPECT_EQ(frontend.ticks_for_pcm(0), 0);
+    EXPECT_EQ(frontend.ticks_for_pcm(3), 15);
+    // Two ticks in (no PCM yet): the next pair needs only three more.
+    (void)frontend.step_ds_bit(true);
+    (void)frontend.step_ds_bit(false);
+    EXPECT_EQ(frontend.ticks_for_pcm(1), 3);
+    EXPECT_EQ(frontend.ticks_for_pcm(2), 8);
+    // A block of exactly ticks_for_pcm(n) ticks fires exactly n pairs.
+    analog::SampleBlock block;
+    const std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(frontend.ticks_for_pcm(4)), 1);
+    EXPECT_EQ(frontend.run_block_ds(bits, block), 4u);
+}
+
+TEST(FrontEndStream, RunBlockAppendsWithoutShrinking) {
+    analog::FrontEnd frontend(make_config(0.0), 1);
+    analog::SampleBlock block;
+    block.reserve_pcm(1024);
+    const std::vector<std::uint8_t> bits(25, 1);
+    EXPECT_EQ(frontend.run_block_ds(bits, block), 5u);
+    EXPECT_EQ(frontend.run_block_ds(bits, block), 5u);
+    EXPECT_EQ(block.pcm_size(), 10u);
+    EXPECT_GE(block.meas.capacity(), 1024u);
+    block.clear_pcm();
+    EXPECT_EQ(block.pcm_size(), 0u);
+    EXPECT_GE(block.meas.capacity(), 1024u);
+}
+
+// ------------------------------------------------------- config validation
+
+TEST(FrontEndConfig, ValidateAcceptsDefaults) {
+    EXPECT_NO_THROW(analog::FrontEndConfig{}.validate());
+}
+
+TEST(FrontEndConfig, ValidateRejectsDegenerateConfigs) {
+    const auto reject = [](auto mutate) {
+        analog::FrontEndConfig config;
+        mutate(config);
+        EXPECT_THROW(config.validate(), ContractViolation);
+        // The constructor applies the same gate before any pole math runs.
+        EXPECT_THROW(analog::FrontEnd{config}, ContractViolation);
+    };
+    reject([](analog::FrontEndConfig& c) { c.modulator_hz = 0.0; });
+    reject([](analog::FrontEndConfig& c) { c.modulator_hz = -16e6; });
+    reject([](analog::FrontEndConfig& c) { c.signal_hz = c.modulator_hz / 2.0; });
+    reject([](analog::FrontEndConfig& c) { c.adc_decimation = 1; });
+    reject([](analog::FrontEndConfig& c) { c.adc_decimation = 5000; });
+    reject([](analog::FrontEndConfig& c) { c.adc_bits = 2; });
+    reject([](analog::FrontEndConfig& c) { c.recon_cutoff_hz = c.modulator_hz; });
+    reject([](analog::FrontEndConfig& c) { c.antialias_cutoff_hz = 0.0; });
+    reject([](analog::FrontEndConfig& c) { c.tank.noise_rms_v = -1e-3; });
+    reject([](analog::FrontEndConfig& c) { c.tank.c_full_pf = c.tank.c_empty_pf; });
+}
+
+// ------------------------------------------------------------------ system
+
+// Every field that feeds reports, campaigns or downstream decisions, folded
+// into one comparable string (exact doubles via hexfloat).
+std::string report_fingerprint(const app::CycleReport& r) {
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << r.result.meas.amplitude << ' ' << r.result.meas.phase << ' '
+       << r.result.ref.amplitude << ' ' << r.result.ref.phase << ' '
+       << r.result.cap.ratio_q12 << ' ' << r.result.cap.cos_q11 << ' '
+       << r.result.cap.cap_pf_q4 << ' ' << r.result.level.level_q15 << ' '
+       << r.result.level.alarm_high << r.result.level.alarm_low << ' '
+       << r.level << ' ' << r.capacitance_pf << ' ' << r.sampling_s << ' '
+       << r.processing_s << ' ' << r.reconfig_s << ' ' << r.scrub_s << ' '
+       << r.repair_s << ' ' << r.upsets_detected << ' ' << r.columns_repaired
+       << ' ' << r.plausibility_rejected << r.fallback << r.fabric_corrupted;
+    return os.str();
+}
+
+std::vector<std::string> run_fingerprints(app::SystemOptions options,
+                                          int stream_block_ticks, int cycles) {
+    options.stream_block_ticks = stream_block_ticks;
+    app::MeasurementSystem system(options, 11);
+    std::vector<std::string> prints;
+    prints.reserve(static_cast<std::size_t>(cycles));
+    for (int c = 0; c < cycles; ++c) {
+        system.set_true_level(0.2 + 0.15 * c);
+        prints.push_back(report_fingerprint(system.run_cycle()));
+    }
+    return prints;
+}
+
+void expect_system_parity(const app::SystemOptions& options, int cycles) {
+    const std::vector<std::string> want = run_fingerprints(options, 0, cycles);
+    for (int block_size : kBlockSizes)
+        EXPECT_EQ(run_fingerprints(options, block_size, cycles), want)
+            << "stream_block_ticks " << block_size;
+}
+
+TEST(SystemStream, CycleReportsIdenticalAcrossBlockSizes) {
+    expect_system_parity(app::SystemOptions{}, 3);
+}
+
+TEST(SystemStream, ExternalDacCycleReportsIdentical) {
+    app::SystemOptions options;
+    options.use_ds_dac = false;
+    expect_system_parity(options, 2);
+}
+
+TEST(SystemStream, SoftwareVariantCycleReportsIdentical) {
+    app::SystemOptions options;
+    options.variant = app::SystemVariant::Software;
+    expect_system_parity(options, 2);
+}
+
+TEST(SystemStream, FaultArmedCycleReportsIdentical) {
+    // Faults draw from their own RNG streams (plan + glitch placement); the
+    // streaming path must not perturb any of them.
+    app::SystemOptions options;
+    options.fault.upset_rate_per_column_s = 0.5;
+    options.fault.load_corruption_prob = 0.2;
+    options.fault.glitch_prob_per_cycle = 0.5;
+    expect_system_parity(options, 4);
+
+    // Fault bookkeeping (not only the per-cycle reports) must agree too.
+    const auto stats_for = [&](int block_ticks) {
+        app::SystemOptions o = options;
+        o.stream_block_ticks = block_ticks;
+        app::MeasurementSystem system(o, 11);
+        for (int c = 0; c < 4; ++c) {
+            system.set_true_level(0.2 + 0.15 * c);
+            (void)system.run_cycle();
+        }
+        const fault::FaultStats& fs = system.fault_stats();
+        std::ostringstream os;
+        os << fs.upsets_injected << ' ' << fs.upsets_detected << ' '
+           << fs.columns_repaired << ' ' << fs.load_retries << ' '
+           << fs.load_failures << ' ' << fs.rejected_cycles << ' '
+           << fs.fallback_cycles;
+        return os.str();
+    };
+    const std::string want = stats_for(0);
+    for (int block_size : kBlockSizes) EXPECT_EQ(stats_for(block_size), want);
+}
+
+// ---------------------------------------------------------------- campaign
+
+TEST(CampaignStream, ReportJsonByteIdenticalAcrossBlockSizes) {
+    const std::vector<fleet::Scenario> scenarios = fleet::SweepBuilder()
+                                                       .noise_levels({0.0, 1e-3})
+                                                       .upset_rates({0.0, 0.5})
+                                                       .cycles(3)
+                                                       .build();
+    ASSERT_EQ(scenarios.size(), 4u);
+
+    // Per-sample reference path, single-threaded: the ground truth bytes.
+    fleet::CampaignOptions reference(1);
+    reference.stream_block_ticks = 0;
+    const std::string want = fleet::CampaignReport::from(
+                                 fleet::CampaignRunner(reference).run(scenarios))
+                                 .render_json();
+
+    // Streamed campaigns on worker threads (thread_local block reuse in
+    // play) must render the very same bytes.
+    for (int block_size : {1, 64, 4096}) {
+        fleet::CampaignOptions options(2);
+        options.stream_block_ticks = block_size;
+        const std::string json = fleet::CampaignReport::from(
+                                     fleet::CampaignRunner(options).run(scenarios))
+                                     .render_json();
+        EXPECT_EQ(json, want) << "stream_block_ticks " << block_size;
+    }
+}
+
+}  // namespace
+}  // namespace refpga
