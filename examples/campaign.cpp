@@ -6,17 +6,23 @@
 //   ./build/examples/campaign --threads 4          # same results, faster
 //   ./build/examples/campaign --json               # machine-readable report
 //   ./build/examples/campaign --with-software      # add the MicroBlaze baseline
+//   ./build/examples/campaign --metrics-json FILE  # obs metrics/trace to FILE
 //
 // The report is byte-identical for any --threads value: scenarios carry
 // their own deterministic seeds, so scheduling cannot change the results.
+// --metrics-json additionally arms the refpga::obs recorder: the obs JSON is
+// written to FILE ("-" = stdout) and embedded in the --json report under
+// "observability" (wall-clock facts, so only present when asked for).
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
 #include "refpga/fleet/campaign.hpp"
 #include "refpga/fleet/report.hpp"
+#include "refpga/obs/obs.hpp"
 
 namespace {
 
@@ -41,6 +47,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 2008;
     bool json = false;
     bool with_software = false;
+    std::string metrics_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -54,9 +61,11 @@ int main(int argc, char** argv) {
             cycles = parse_int(argv[++i], "--cycles");
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(parse_int(argv[++i], "--seed"));
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             std::cerr << "usage: campaign [--threads N] [--cycles N] [--seed S] "
-                         "[--json] [--with-software]\n";
+                         "[--json] [--with-software] [--metrics-json FILE]\n";
             return 2;
         }
     }
@@ -81,9 +90,29 @@ int main(int argc, char** argv) {
                   << " thread(s), " << cycles << " cycles each (seed " << seed
                   << ")\n\n";
 
+    obs::Recorder recorder;
+    fleet::CampaignOptions options(threads);
+    if (!metrics_path.empty()) options.recorder = &recorder;
+
     const fleet::CampaignResult result =
-        fleet::CampaignRunner(threads).run(sweep);
-    const fleet::CampaignReport report = fleet::CampaignReport::from(result);
+        fleet::CampaignRunner(options).run(sweep);
+    fleet::CampaignReport report = fleet::CampaignReport::from(result);
+
+    if (!metrics_path.empty()) {
+        const std::string obs_json = recorder.render_json();
+        report.attach_metrics_json(obs_json);
+        if (metrics_path == "-") {
+            std::cout << obs_json << "\n";
+        } else {
+            std::ofstream out(metrics_path);
+            if (!out) {
+                std::cerr << "cannot write " << metrics_path << "\n";
+                return 2;
+            }
+            out << obs_json << "\n";
+        }
+    }
+
     std::cout << (json ? report.render_json() : report.render_text()) << "\n";
     return result.failure_count() == 0 ? 0 : 1;
 }

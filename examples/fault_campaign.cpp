@@ -7,17 +7,23 @@
 //   ./build/examples/fault_campaign --threads 4     # same results, faster
 //   ./build/examples/fault_campaign --json          # machine-readable report
 //   ./build/examples/fault_campaign --harsh         # add load/flash/glitch faults
+//   ./build/examples/fault_campaign --metrics-json FILE  # obs metrics to FILE
 //
 // The report is byte-identical for any --threads value: fault schedules are
 // derived from per-scenario seeds, so scheduling cannot change the results.
+// --metrics-json arms the refpga::obs recorder (scrub hits, load retries,
+// per-scenario wall time); FILE of "-" writes to stdout, and the --json
+// report gains an "observability" block.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
 #include "refpga/fleet/campaign.hpp"
 #include "refpga/fleet/report.hpp"
+#include "refpga/obs/obs.hpp"
 
 namespace {
 
@@ -42,6 +48,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 2008;
     bool json = false;
     bool harsh = false;
+    std::string metrics_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -55,9 +62,11 @@ int main(int argc, char** argv) {
             cycles = parse_int(argv[++i], "--cycles");
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(parse_int(argv[++i], "--seed"));
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             std::cerr << "usage: fault_campaign [--threads N] [--cycles N] "
-                         "[--seed S] [--json] [--harsh]\n";
+                         "[--seed S] [--json] [--harsh] [--metrics-json FILE]\n";
             return 2;
         }
     }
@@ -91,9 +100,29 @@ int main(int argc, char** argv) {
                      "upset_rate axis group for\navailability vs rate and the "
                      "port axis group for scrub-bandwidth effects\n\n";
 
+    obs::Recorder recorder;
+    fleet::CampaignOptions options(threads);
+    if (!metrics_path.empty()) options.recorder = &recorder;
+
     const fleet::CampaignResult result =
-        fleet::CampaignRunner(threads).run(sweep);
-    const fleet::CampaignReport report = fleet::CampaignReport::from(result);
+        fleet::CampaignRunner(options).run(sweep);
+    fleet::CampaignReport report = fleet::CampaignReport::from(result);
+
+    if (!metrics_path.empty()) {
+        const std::string obs_json = recorder.render_json();
+        report.attach_metrics_json(obs_json);
+        if (metrics_path == "-") {
+            std::cout << obs_json << "\n";
+        } else {
+            std::ofstream out(metrics_path);
+            if (!out) {
+                std::cerr << "cannot write " << metrics_path << "\n";
+                return 2;
+            }
+            out << obs_json << "\n";
+        }
+    }
+
     std::cout << (json ? report.render_json() : report.render_text()) << "\n";
     return result.failure_count() == 0 ? 0 : 1;
 }

@@ -428,9 +428,12 @@ std::size_t FrontEnd::run_block_ds(std::span<const std::uint8_t> bits,
     // Zero configured noise skips the Gaussian synthesis entirely (see
     // TankCircuit::step): a zero-RMS draw only contributes a signed zero,
     // which cannot change any downstream sample.
-    return tank_.params_.noise_rms_v > 0.0
-               ? run_block_impl<true>(bits.data(), bits.size(), out, to_volts)
-               : run_block_impl<false>(bits.data(), bits.size(), out, to_volts);
+    const std::size_t pairs =
+        tank_.params_.noise_rms_v > 0.0
+            ? run_block_impl<true>(bits.data(), bits.size(), out, to_volts)
+            : run_block_impl<false>(bits.data(), bits.size(), out, to_volts);
+    record_block(bits.size(), pairs);
+    return pairs;
 }
 
 std::size_t FrontEnd::run_block_code8(std::span<const std::uint8_t> codes,
@@ -438,9 +441,31 @@ std::size_t FrontEnd::run_block_code8(std::span<const std::uint8_t> codes,
     const auto to_volts = [](std::uint8_t c) {
         return (static_cast<double>(c) - 128.0) / 128.0;
     };
-    return tank_.params_.noise_rms_v > 0.0
-               ? run_block_impl<true>(codes.data(), codes.size(), out, to_volts)
-               : run_block_impl<false>(codes.data(), codes.size(), out, to_volts);
+    const std::size_t pairs =
+        tank_.params_.noise_rms_v > 0.0
+            ? run_block_impl<true>(codes.data(), codes.size(), out, to_volts)
+            : run_block_impl<false>(codes.data(), codes.size(), out, to_volts);
+    record_block(codes.size(), pairs);
+    return pairs;
+}
+
+void FrontEnd::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    if (recorder_ == nullptr) return;
+    obs::MetricRegistry& m = recorder_->metrics();
+    ticks_metric_ = m.counter("frontend.ticks_total");
+    pairs_metric_ = m.counter("frontend.pcm_pairs_total");
+    blocks_metric_ = m.counter("frontend.blocks_total");
+}
+
+void FrontEnd::record_block(std::size_t ticks, std::size_t pairs) {
+    // Per-block, not per-tick: the fused kernel never sees the recorder, so
+    // the disabled cost is this one null/flag check per run_block_* call.
+    if (recorder_ == nullptr || !recorder_->enabled()) return;
+    obs::MetricRegistry& m = recorder_->metrics();
+    m.add(ticks_metric_, static_cast<double>(ticks));
+    m.add(pairs_metric_, static_cast<double>(pairs));
+    m.add(blocks_metric_, 1.0);
 }
 
 std::optional<FrontEnd::PcmPair> FrontEnd::step_ds_bit(bool bit) {

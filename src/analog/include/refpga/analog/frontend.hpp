@@ -25,6 +25,7 @@
 #include "refpga/analog/delta_sigma.hpp"
 #include "refpga/analog/sample_block.hpp"
 #include "refpga/analog/tank.hpp"
+#include "refpga/obs/obs.hpp"
 
 namespace refpga::analog {
 
@@ -94,8 +95,16 @@ public:
     /// Same, driven by 8-bit DAC codes.
     std::size_t run_block_code8(std::span<const std::uint8_t> codes, SampleBlock& out);
 
+    /// Attach (or detach with nullptr) an observability recorder. Registers
+    /// frontend.{ticks,pcm_pairs,blocks}_total; run_block_* bumps them once
+    /// per block, after the fused kernel, so the sample loop itself stays
+    /// instrumentation-free. Non-owning; the recorder must outlive the
+    /// front end or be detached first.
+    void set_recorder(obs::Recorder* recorder);
+
 private:
     std::optional<PcmPair> advance_reference(double drive_raw_v);
+    void record_block(std::size_t ticks, std::size_t pairs);
 
     template <bool kNoisy, typename DriveToVolts>
     std::size_t run_block_impl(const std::uint8_t* drive, std::size_t n,
@@ -109,6 +118,10 @@ private:
     DeltaSigmaAdc adc_meas_;
     DeltaSigmaAdc adc_ref_;
     SampleBlock step_scratch_;  ///< block-of-1 storage for the step_* wrappers
+    obs::Recorder* recorder_ = nullptr;
+    obs::MetricId ticks_metric_;
+    obs::MetricId pairs_metric_;
+    obs::MetricId blocks_metric_;
 };
 
 }  // namespace refpga::analog

@@ -22,6 +22,7 @@
 #include "refpga/app/software.hpp"
 #include "refpga/fault/fault.hpp"
 #include "refpga/netlist/netlist.hpp"
+#include "refpga/obs/obs.hpp"
 #include "refpga/reconfig/controller.hpp"
 #include "refpga/reconfig/scrubber.hpp"
 #include "refpga/soc/fabric_macros.hpp"
@@ -68,6 +69,15 @@ struct SystemOptions {
     /// Consecutive rejections after which the guard yields — a persistent
     /// "implausible" reading is a real step change, not a transient fault.
     int plausibility_patience = 2;
+
+    /// Observability sink (refpga::obs); the system's obs toggle. nullptr —
+    /// the default — leaves every instrumentation site as a single null
+    /// check (bench_obs_overhead gates this at <= 2% on the streaming
+    /// path). When set, run_cycle records cycle.* metrics and phase spans
+    /// and propagates the recorder to the front end and the reconfiguration
+    /// controller. Non-owning: the recorder must outlive the system; safe
+    /// to share one recorder across systems (all sinks are thread-safe).
+    obs::Recorder* recorder = nullptr;
 
     SystemOptions();
 };
@@ -173,6 +183,17 @@ private:
     golden::FilterState::Output last_good_level_{};
     int reject_streak_ = 0;
     std::optional<double> fallback_s_;  ///< cached software-path timing
+
+    // Observability ids, interned once at construction (empty/invalid when
+    // options_.recorder is null).
+    struct ObsIds {
+        obs::MetricId cycles, fallback, rejected, corrupted, upsets, repairs;
+        obs::MetricId model_sampling_s, model_processing_s, model_reconfig_s,
+            model_scrub_s;
+        obs::MetricId wall, sample_wall, swap_wall;
+        std::uint32_t span_cycle = 0, span_sample = 0, span_process = 0,
+                      span_swap = 0;
+    } obs_ids_;
 };
 
 /// Structural netlist of the complete system, partitioned into the static

@@ -42,6 +42,13 @@ constexpr std::uint64_t kStaticSignature = 0x5e1f0c0def417a11ULL;
 // large enough (>= 170 pF) to trip the plausibility guard's default jump.
 constexpr std::uint32_t kFabricCorruptMask = 0x2AAA;
 
+// Wall-clock histogram bounds for cycle phases: the streamed sample window
+// runs sub-millisecond on current hosts; the decade ladder keeps the same
+// metric meaningful on the slow reference path too.
+std::vector<double> wall_bounds() {
+    return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+}
+
 }  // namespace
 
 MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_seed)
@@ -79,6 +86,35 @@ MeasurementSystem::MeasurementSystem(SystemOptions options, std::uint64_t noise_
                 [this](const std::string&, const std::string&, int) {
                     return plan_.next_load_fault();
                 });
+    }
+
+    if (options_.recorder != nullptr) {
+        obs::MetricRegistry& m = options_.recorder->metrics();
+        obs_ids_.cycles = m.counter("cycle.count_total");
+        obs_ids_.fallback = m.counter("cycle.fallback_total");
+        obs_ids_.rejected = m.counter("cycle.plausibility_rejected_total");
+        obs_ids_.corrupted = m.counter("cycle.fabric_corrupted_total");
+        obs_ids_.upsets = m.counter("cycle.upsets_detected_total");
+        obs_ids_.repairs = m.counter("cycle.columns_repaired_total");
+        // Modelled (simulated-schedule) seconds, straight from the report.
+        obs_ids_.model_sampling_s = m.counter("cycle.model_sampling_seconds_total");
+        obs_ids_.model_processing_s =
+            m.counter("cycle.model_processing_seconds_total");
+        obs_ids_.model_reconfig_s = m.counter("cycle.model_reconfig_seconds_total");
+        obs_ids_.model_scrub_s = m.counter("cycle.model_scrub_seconds_total");
+        // Host wall clock actually spent computing the phases.
+        obs_ids_.wall = m.histogram("cycle.wall_seconds", wall_bounds());
+        obs_ids_.sample_wall =
+            m.histogram("cycle.sample_wall_seconds", wall_bounds());
+        obs_ids_.swap_wall =
+            m.histogram("cycle.module_swap_wall_seconds", wall_bounds());
+        obs::TraceRing& tr = options_.recorder->trace();
+        obs_ids_.span_cycle = tr.intern("cycle");
+        obs_ids_.span_sample = tr.intern("cycle/sample_window");
+        obs_ids_.span_process = tr.intern("cycle/processing");
+        obs_ids_.span_swap = tr.intern("cycle/module_swap");
+        frontend_.set_recorder(options_.recorder);
+        controller_.set_recorder(options_.recorder);
     }
 
     if (options_.variant == SystemVariant::ReconfiguredHw) {
@@ -267,11 +303,17 @@ CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
     double t = 0.0;
     const double cycle_start_s =
         static_cast<double>(cycles_run_) * p.cycle_period_s;
+    obs::ScopedSpan cycle_span(options_.recorder, obs_ids_.span_cycle,
+                               obs_ids_.wall);
 
     // --- Phase 1: AD conversion of the measurement/reference signals --------
     std::vector<std::int32_t> meas;
     std::vector<std::int32_t> ref;
-    collect_window(block, meas, ref);
+    {
+        obs::ScopedSpan sample_span(options_.recorder, obs_ids_.span_sample,
+                                    obs_ids_.sample_wall);
+        collect_window(block, meas, ref);
+    }
     apply_glitch(plan_.next_glitch(), meas, ref);
     report.sampling_s = static_cast<double>(p.window * (1 + options_.settle_windows)) /
                         p.pcm_rate_hz();
@@ -283,7 +325,10 @@ CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
 
     auto add_reconfig = [&](const char* module) -> bool {
         if (options_.variant != SystemVariant::ReconfiguredHw) return true;
+        obs::ScopedSpan swap_span(options_.recorder, obs_ids_.span_swap,
+                                  obs_ids_.swap_wall);
         const reconfig::ReconfigEvent ev = controller_.load("slot0", module);
+        swap_span.finish();
         stats_.load_retries += std::max(0, ev.attempts - 1);
         if (ev.time_s > 0.0) {
             std::string label = std::string("reconfig: ") + module;
@@ -307,6 +352,7 @@ CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
 
     golden::CapacityResult cap_raw;
     bool filter_in_hw = false;
+    obs::ScopedSpan process_span(options_.recorder, obs_ids_.span_process);
     if (options_.variant == SystemVariant::Software) {
         // The MicroBlaze executes the full pipeline from the sample buffers.
         const SoftwareRun run =
@@ -351,6 +397,7 @@ CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
                            fallback_processing_s(meas, ref));
         }
     }
+    process_span.finish();
 
     // --- Fabric-corruption oracle + plausibility guard ----------------------
     if (config_mem_.corrupted_count() > 0) {
@@ -403,6 +450,22 @@ CycleReport MeasurementSystem::run_cycle(analog::SampleBlock& block) {
     ++stats_.cycles;
     if (report.fallback || report.plausibility_rejected || report.fabric_corrupted)
         ++stats_.degraded_cycles;
+
+    if (options_.recorder != nullptr && options_.recorder->enabled()) {
+        obs::MetricRegistry& m = options_.recorder->metrics();
+        m.add(obs_ids_.cycles);
+        m.add(obs_ids_.model_sampling_s, report.sampling_s);
+        m.add(obs_ids_.model_processing_s, report.processing_s);
+        m.add(obs_ids_.model_reconfig_s, report.reconfig_s);
+        m.add(obs_ids_.model_scrub_s, report.scrub_s + report.repair_s);
+        if (report.fallback) m.add(obs_ids_.fallback);
+        if (report.plausibility_rejected) m.add(obs_ids_.rejected);
+        if (report.fabric_corrupted) m.add(obs_ids_.corrupted);
+        if (report.upsets_detected > 0)
+            m.add(obs_ids_.upsets, report.upsets_detected);
+        if (report.columns_repaired > 0)
+            m.add(obs_ids_.repairs, report.columns_repaired);
+    }
     return report;
 }
 

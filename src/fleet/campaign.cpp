@@ -74,10 +74,32 @@ VariantFit variant_fit(app::SystemVariant variant) {
 
 namespace {
 
+// Campaign-level observability ids, interned once per run() so the workers
+// only touch lock-free recording paths.
+struct CampaignObs {
+    obs::Recorder* rec = nullptr;
+    obs::MetricId scenarios, failures, wall;
+    std::uint32_t span = 0;
+};
+
+CampaignObs make_campaign_obs(obs::Recorder* rec) {
+    CampaignObs c;
+    c.rec = rec;
+    if (rec == nullptr) return c;
+    obs::MetricRegistry& m = rec->metrics();
+    c.scenarios = m.counter("campaign.scenarios_total");
+    c.failures = m.counter("campaign.scenario_failures_total");
+    c.wall = m.histogram("campaign.scenario_wall_seconds",
+                         {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0});
+    c.span = rec->trace().intern("campaign/scenario");
+    return c;
+}
+
 ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits,
-                        const CampaignOptions& campaign) {
+                        const CampaignOptions& campaign, const CampaignObs& cobs) {
     ScenarioOutcome o;
     o.scenario = s;
+    obs::ScopedSpan scenario_span(cobs.rec, cobs.span, cobs.wall);
     try {
         if (campaign.scenario_probe) campaign.scenario_probe(s);
         REFPGA_EXPECTS(s.cycles > 0);
@@ -92,6 +114,7 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         options.tank_noise_rms_v = s.noise_rms_v;
         options.fault = s.fault;
         options.stream_block_ticks = campaign.stream_block_ticks;
+        options.recorder = campaign.recorder;
         app::MeasurementSystem system(options, s.seed);
 
         // One streaming buffer per worker thread, shared by every scenario
@@ -170,6 +193,11 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
         o.ok = false;
         o.error = "non-standard exception";
     }
+    scenario_span.finish();
+    if (cobs.rec != nullptr && cobs.rec->enabled()) {
+        cobs.rec->metrics().add(cobs.scenarios);
+        if (!o.ok) cobs.rec->metrics().add(cobs.failures);
+    }
     return o;
 }
 
@@ -188,17 +216,18 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) const
 
     CampaignResult result;
     result.outcomes.resize(scenarios.size());
+    const CampaignObs cobs = make_campaign_obs(options_.recorder);
     if (options_.threads <= 1) {
         for (std::size_t i = 0; i < scenarios.size(); ++i)
-            result.outcomes[i] = run_one(scenarios[i], fits, options_);
+            result.outcomes[i] = run_one(scenarios[i], fits, options_, cobs);
         return result;
     }
 
     ThreadPool pool(options_.threads);
     for (std::size_t i = 0; i < scenarios.size(); ++i)
-        pool.submit([&scenarios, &result, &fits, i, this] {
+        pool.submit([&scenarios, &result, &fits, &cobs, i, this] {
             // Each job writes only its own slot: no synchronization needed.
-            result.outcomes[i] = run_one(scenarios[i], fits, options_);
+            result.outcomes[i] = run_one(scenarios[i], fits, options_, cobs);
         });
     pool.wait_idle();
     return result;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "refpga/fleet/scenario.hpp"
+#include "refpga/obs/obs.hpp"
 
 namespace refpga::fleet {
 
@@ -87,6 +88,14 @@ struct CampaignOptions {
     /// its system is built, so tests can exercise failure isolation
     /// (including non-std::exception throws). Empty in production use.
     std::function<void(const Scenario&)> scenario_probe;
+    /// Observability sink (refpga::obs); the campaign's obs toggle. When
+    /// set, the runner records campaign.* per-scenario wall time and
+    /// failure counts and propagates the recorder into every scenario's
+    /// app::MeasurementSystem (one shared recorder across all workers; all
+    /// sinks are thread-safe). Wall-clock metrics live only in the obs
+    /// export — scenario outcomes and the campaign report body stay
+    /// byte-identical across thread counts. Non-owning; must outlive run().
+    obs::Recorder* recorder = nullptr;
 
     CampaignOptions() = default;
     CampaignOptions(int threads_) : threads(threads_) {}  // NOLINT: {N} spells a thread count

@@ -63,6 +63,17 @@ public:
     [[nodiscard]] MetricSummary group_summary(const Group& group,
                                               std::string_view key) const;
 
+    /// Embeds a pre-rendered obs JSON document (obs::Recorder::render_json)
+    /// into render_json() as a top-level "observability" member. The base
+    /// report stays a pure function of the outcomes — wall-clock metrics
+    /// appear only when the caller opts in here, so the byte-identical-
+    /// across-thread-counts guarantee is unchanged for unattached reports.
+    /// Pass an empty string to detach.
+    void attach_metrics_json(std::string metrics_json) {
+        metrics_json_ = std::move(metrics_json);
+    }
+    [[nodiscard]] const std::string& metrics_json() const { return metrics_json_; }
+
     [[nodiscard]] std::string render_text() const;
     [[nodiscard]] std::string render_json() const;
 
@@ -70,6 +81,7 @@ private:
     std::vector<ScenarioOutcome> outcomes_;
     std::vector<Group> groups_;
     std::size_t failures_ = 0;
+    std::string metrics_json_;  ///< verbatim obs JSON; empty = omitted
 };
 
 }  // namespace refpga::fleet

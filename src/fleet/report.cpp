@@ -263,7 +263,11 @@ std::string CampaignReport::render_json() const {
         }
         os << "}}";
     }
-    os << "]}";
+    os << "]";
+    // The obs block is verbatim-embedded JSON from obs::Recorder; it carries
+    // wall-clock facts, so it only appears when explicitly attached.
+    if (!metrics_json_.empty()) os << ",\"observability\":" << metrics_json_;
+    os << "}";
     return os.str();
 }
 

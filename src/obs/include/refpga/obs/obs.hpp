@@ -1,0 +1,261 @@
+// refpga::obs — in-process observability for the reproduction: a thread-safe
+// metric registry (counters, gauges, fixed-bucket histograms), RAII scoped
+// timers, and span-style trace events in a bounded ring buffer. Everything is
+// keyed by interned ids so the hot paths never hash or compare strings.
+//
+// Overhead contract: instrumentation sites hold a non-owning `Recorder*`
+// (default nullptr). With no recorder attached — or with one attached but
+// disabled — the per-event cost is a null/flag check and nothing else: no
+// clock reads, no atomics, no allocation. bench_obs_overhead gates the
+// compiled-in-but-disabled cost at <= 2% on the streaming front-end path.
+//
+// Thread safety: registration (interning a name) takes a mutex; recording on
+// an already-registered id is lock-free (relaxed atomics). Metric slots are
+// pre-allocated at a fixed capacity, so registration never moves a slot out
+// from under a concurrent recorder. The trace ring takes a mutex per span —
+// spans mark phase-level work (a sample window, a reconfiguration, a
+// campaign scenario), not per-tick events.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace refpga::obs {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Handle to a registered metric. Cheap to copy; invalid by default.
+struct MetricId {
+    static constexpr std::uint32_t kInvalid = 0xffffffffU;
+    std::uint32_t index = kInvalid;
+    [[nodiscard]] bool valid() const { return index != kInvalid; }
+};
+
+/// Atomic double accumulator. fetch_add on std::atomic<double> is C++20 but
+/// patchily implemented; a CAS loop is portable and contention here is low
+/// (a handful of instrumented sites, not per-sample work).
+class AtomicDouble {
+public:
+    void add(double delta) {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    void store(double v) { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double load() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-capacity registry of named counters, gauges and histograms.
+class MetricRegistry {
+public:
+    /// Slots are pre-allocated so a concurrent add() never races a vector
+    /// reallocation from another thread's register call.
+    static constexpr std::size_t kMaxMetrics = 256;
+    /// Histogram bucket bounds per metric (plus one implicit overflow bucket).
+    static constexpr std::size_t kMaxBuckets = 16;
+
+    explicit MetricRegistry(bool enabled = true) : enabled_(enabled) {
+        slots_ = std::make_unique<Slot[]>(kMaxMetrics);
+    }
+
+    void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Registration interns by name and is idempotent: re-registering the
+    /// same name with the same kind returns the existing id. A kind clash or
+    /// exceeding kMaxMetrics throws ContractViolation. Registration works
+    /// even while disabled so ids can be created once up front.
+    MetricId counter(std::string_view name);
+    MetricId gauge(std::string_view name);
+    /// `upper_bounds` must be finite, strictly increasing, and at most
+    /// kMaxBuckets long; observations above the last bound land in an
+    /// implicit overflow bucket.
+    MetricId histogram(std::string_view name, std::vector<double> upper_bounds);
+
+    /// Hot-path recorders: no-ops when disabled or when `id` is invalid.
+    void add(MetricId id, double delta = 1.0);
+    void set(MetricId id, double value);
+    void observe(MetricId id, double value);
+
+    /// Point-in-time copy of one metric (histogram buckets include the
+    /// overflow bucket as the last element).
+    struct Snapshot {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        double value = 0.0;       ///< counter/gauge value; histogram sum
+        std::int64_t count = 0;   ///< histogram observation count
+        std::vector<double> bounds;
+        std::vector<std::int64_t> buckets;
+    };
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] MetricId find(std::string_view name) const;
+    [[nodiscard]] Snapshot snapshot(MetricId id) const;
+    /// Convenience lookup: counter/gauge value (histogram sum) by name;
+    /// 0.0 when the name is unknown.
+    [[nodiscard]] double value(std::string_view name) const;
+
+    [[nodiscard]] std::string render_text() const;
+    [[nodiscard]] std::string render_json() const;
+    [[nodiscard]] std::string render_prometheus() const;
+
+private:
+    struct Slot {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        AtomicDouble value;  ///< counter/gauge value; histogram sum
+        std::atomic<std::int64_t> count{0};
+        std::array<std::atomic<std::int64_t>, kMaxBuckets + 1> buckets{};
+        std::vector<double> bounds;
+    };
+
+    MetricId intern(std::string_view name, MetricKind kind,
+                    std::vector<double> bounds);
+    [[nodiscard]] std::vector<Snapshot> snapshot_all() const;
+
+    std::atomic<bool> enabled_;
+    mutable std::mutex mutex_;          ///< guards registration + snapshots
+    std::atomic<std::uint32_t> size_{0};  ///< published with release ordering
+    std::unique_ptr<Slot[]> slots_;
+};
+
+/// One completed span in the trace ring. Times are nanoseconds on the steady
+/// clock relative to the ring's construction.
+struct TraceEvent {
+    std::uint32_t name = 0;       ///< interned via TraceRing::intern
+    std::uint32_t thread = 0;     ///< small per-thread ordinal
+    std::uint64_t seq = 0;        ///< monotone push order
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+};
+
+/// Bounded in-memory ring of trace events. When full, the oldest events are
+/// overwritten and counted as dropped.
+class TraceRing {
+public:
+    explicit TraceRing(std::size_t capacity = 4096);
+
+    std::uint32_t intern(std::string_view name);
+    [[nodiscard]] std::string name(std::uint32_t id) const;
+
+    [[nodiscard]] std::uint64_t now_ns() const;
+    void push(std::uint32_t name_id, std::uint64_t start_ns,
+              std::uint64_t duration_ns);
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::uint64_t pushed() const;
+    [[nodiscard]] std::uint64_t dropped() const;
+    /// Retained events, oldest first.
+    [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+    [[nodiscard]] std::string render_text() const;
+    [[nodiscard]] std::string render_json() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::vector<std::string> names_;
+    std::vector<std::pair<std::thread::id, std::uint32_t>> thread_ids_;
+    std::uint64_t next_seq_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+
+    std::uint32_t thread_ordinal_locked();
+};
+
+/// Facade bundling one metric registry and one trace ring behind a shared
+/// enabled toggle. Instrumented subsystems hold a non-owning `Recorder*`
+/// (nullptr = observability off); the owner (a CLI, a test, a bench) decides
+/// lifetime and export format.
+class Recorder {
+public:
+    explicit Recorder(bool enabled = true, std::size_t trace_capacity = 4096)
+        : metrics_(enabled), trace_(trace_capacity) {}
+
+    [[nodiscard]] bool enabled() const { return metrics_.enabled(); }
+    void set_enabled(bool on) { metrics_.set_enabled(on); }
+
+    [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+    [[nodiscard]] const MetricRegistry& metrics() const { return metrics_; }
+    [[nodiscard]] TraceRing& trace() { return trace_; }
+    [[nodiscard]] const TraceRing& trace() const { return trace_; }
+
+    /// Human-readable dump: metrics table + trace summary.
+    [[nodiscard]] std::string render_text() const;
+    /// {"metrics":[...],"trace":{...}} — embedded verbatim by the campaign
+    /// report's metrics block and written by the CLIs' --metrics-json.
+    [[nodiscard]] std::string render_json() const;
+
+private:
+    MetricRegistry metrics_;
+    TraceRing trace_;
+};
+
+/// RAII wall-clock timer feeding a histogram (seconds). Inert — no clock
+/// read at all — when the registry is null or disabled at construction.
+class ScopedTimer {
+public:
+    ScopedTimer() = default;
+    ScopedTimer(MetricRegistry* metrics, MetricId hist_seconds)
+        : metrics_(metrics != nullptr && metrics->enabled() && hist_seconds.valid()
+                       ? metrics
+                       : nullptr),
+          hist_(hist_seconds) {
+        if (metrics_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() { stop(); }
+
+    /// Records the elapsed time now (idempotent) and returns it in seconds;
+    /// returns 0.0 when inert.
+    double stop();
+
+private:
+    MetricRegistry* metrics_ = nullptr;
+    MetricId hist_{};
+    std::chrono::steady_clock::time_point start_{};
+};
+
+/// RAII span: on destruction pushes a trace event and (optionally) observes
+/// the duration into a seconds histogram. Inert when the recorder is null or
+/// disabled at construction.
+class ScopedSpan {
+public:
+    ScopedSpan() = default;
+    ScopedSpan(Recorder* recorder, std::uint32_t span_name,
+               MetricId hist_seconds = {});
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    ~ScopedSpan() { finish(); }
+
+    /// Ends the span now (idempotent).
+    void finish();
+
+private:
+    Recorder* recorder_ = nullptr;
+    std::uint32_t name_ = 0;
+    MetricId hist_{};
+    std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace refpga::obs

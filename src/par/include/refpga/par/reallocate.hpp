@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "refpga/netlist/adjacency.hpp"
+#include "refpga/obs/obs.hpp"
 #include "refpga/par/router.hpp"
 #include "refpga/par/timing.hpp"
 #include "refpga/sim/activity.hpp"
@@ -71,6 +72,13 @@ struct ReallocateOptions {
     /// Full timing re-analysis at least every N committed moves, to keep the
     /// accumulated delay bound tight (Incremental engine only).
     int timing_resync_period = 8;
+    /// Observability sink (refpga::obs). When set, optimize_net_power bumps
+    /// realloc.{passes,nets_considered,candidates_evaluated,moves_committed,
+    /// moves_rejected,timing_resyncs}_total and observes the pass wall time.
+    /// Counters are recorded from the calling thread only, so candidate
+    /// evaluation workers stay untouched; reports remain byte-identical
+    /// whether or not a recorder is attached. Non-owning.
+    obs::Recorder* recorder = nullptr;
 };
 
 /// Per-net outcome, one entry per optimized net (Table 2 rows).

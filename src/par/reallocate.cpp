@@ -246,7 +246,21 @@ public:
           routed_(routed),
           activity_(activity),
           options_(options),
-          inc_(options.engine == ReallocEngine::Incremental) {}
+          inc_(options.engine == ReallocEngine::Incremental),
+          rec_(options.recorder) {
+        if (rec_ != nullptr) {
+            obs::MetricRegistry& m = rec_->metrics();
+            obs_passes_ = m.counter("realloc.passes_total");
+            obs_nets_ = m.counter("realloc.nets_considered_total");
+            obs_candidates_ = m.counter("realloc.candidates_evaluated_total");
+            obs_commits_ = m.counter("realloc.moves_committed_total");
+            obs_rejects_ = m.counter("realloc.moves_rejected_total");
+            obs_resyncs_ = m.counter("realloc.timing_resyncs_total");
+            obs_pass_wall_ = m.histogram(
+                "realloc.pass_wall_seconds",
+                {1e-3, 1e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0});
+        }
+    }
 
     ReallocateReport run();
 
@@ -290,6 +304,15 @@ private:
     ThreadPool* pool_ = nullptr;
     std::optional<ThreadPool> local_pool_;
     std::vector<RouteScratch> scratches_;  ///< one per evaluation worker
+
+    // Observability (counters bumped from the calling thread only).
+    obs::Recorder* rec_;
+    obs::MetricId obs_passes_, obs_nets_, obs_candidates_, obs_commits_,
+        obs_rejects_, obs_resyncs_, obs_pass_wall_;
+
+    void obs_add(obs::MetricId id, double delta = 1.0) {
+        if (rec_ != nullptr && rec_->enabled()) rec_->metrics().add(id, delta);
+    }
 };
 
 void Engine::setup_pool() {
@@ -315,6 +338,9 @@ ReallocateReport Engine::run() {
         cache_.emplace(routed_, activity_, options_.vdd);
     }
     setup_pool();
+    obs_add(obs_passes_);
+    obs::ScopedTimer pass_timer(rec_ != nullptr ? &rec_->metrics() : nullptr,
+                                obs_pass_wall_);
 
     ReallocateReport report;
     report.total_before_uw = inc_ ? cache_->exact_total_uw()
@@ -328,6 +354,7 @@ ReallocateReport Engine::run() {
     }
 
     for (const NetId net : rank_hot_nets(routed_, activity_, options_)) {
+        obs_add(obs_nets_);
         NetPowerChange change;
         change.net = net;
         change.name = nl.net(net).name;
@@ -408,6 +435,7 @@ void Engine::optimize_slice(SliceId slice, const SliceCoord& centroid,
                 targets[i].y != targets[groups.back()].y)
                 groups.push_back(i);
         std::vector<double> gains(groups.size(), 0.0);
+        obs_add(obs_candidates_, static_cast<double>(groups.size()));
         evaluate_candidates(affected, slice, targets, groups, cost_before, gains);
         for (std::size_t g = 0; g < groups.size(); ++g) {
             if (gains[g] > best_gain) {
@@ -423,6 +451,7 @@ void Engine::optimize_slice(SliceId slice, const SliceCoord& centroid,
         // scratch evaluator eliminates. Decisions are identical: live routes
         // from the same base occupancy equal scratch trial routes byte for
         // byte, and costs are summed in the same ascending net order.
+        obs_add(obs_candidates_, static_cast<double>(targets.size()));
         for (std::size_t i = 0; i < targets.size(); ++i) {
             placement_.swap_sites(original, targets[i]);
             for (const NetId a : affected)
@@ -483,6 +512,7 @@ void Engine::optimize_slice(SliceId slice, const SliceCoord& centroid,
     }
 
     if (reject) {
+        obs_add(obs_rejects_);
         rip_all(affected);
         placement_.swap_sites(targets[best], original);
         route_all_lp(affected);
@@ -490,6 +520,7 @@ void Engine::optimize_slice(SliceId slice, const SliceCoord& centroid,
         // described. Rejections are rare, so this resync is off the hot path.
         if (inc_) resync(analyze_timing(routed_, options_.delays));
     } else {
+        obs_add(obs_commits_);
         change.moved_logic = true;
         if (inc_ && ++commits_since_resync_ >= options_.timing_resync_period)
             resync(analyze_timing(routed_, options_.delays));
@@ -594,6 +625,7 @@ bool Engine::slice_touches_critical(SliceId slice) const {
 }
 
 void Engine::resync(const TimingReport& report) {
+    obs_add(obs_resyncs_);
     crit_bound_ = report.critical_path_ps;
     critical_ = critical_cell_mask(report, placement_.nl().cell_count());
     commits_since_resync_ = 0;

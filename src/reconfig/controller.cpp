@@ -67,6 +67,23 @@ const Slot& ReconfigController::find_slot(const std::string& name) const {
     throw ContractViolation("unknown slot: " + name);
 }
 
+void ReconfigController::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    if (recorder_ == nullptr) return;
+    obs::MetricRegistry& m = recorder_->metrics();
+    obs_ids_.loads = m.counter("reconfig.loads_total");
+    obs_ids_.skipped = m.counter("reconfig.loads_skipped_total");
+    obs_ids_.retries = m.counter("reconfig.load_retries_total");
+    obs_ids_.failures = m.counter("reconfig.load_failures_total");
+    obs_ids_.bits_written = m.counter("reconfig.bits_written_total");
+    obs_ids_.verify_reads = m.counter("reconfig.verify_reads_total");
+    // Bounds bracket the paper's port spread: SelectMAP swaps ~100 us,
+    // JTAG the better part of a second (Table 1 geometry).
+    obs_ids_.load_seconds = m.histogram(
+        "reconfig.load_seconds",
+        {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0});
+}
+
 void ReconfigController::set_load_policy(LoadPolicy policy) {
     REFPGA_EXPECTS(policy.max_retries >= 0);
     policy_ = policy;
@@ -91,6 +108,8 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
     if (s.loaded_module == module && s.health == SlotHealth::Healthy) {
         event.skipped = true;
         events_.push_back(event);
+        if (recorder_ != nullptr && recorder_->enabled())
+            recorder_->metrics().add(obs_ids_.skipped);
         return event;
     }
 
@@ -112,6 +131,7 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
 
     bool success = false;
     bool landed_corrupt = false;
+    int verify_reads = 0;
     while (event.attempts <= policy_.max_retries) {
         ++event.attempts;
         const fault::LoadFault fault =
@@ -126,6 +146,7 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
             continue;
         }
         if (policy_.verify_after_write) {
+            ++verify_reads;
             event.verify_s += verify_s;
             event.time_s += verify_s;
             event.energy_mj += verify_s * port_.active_power_mw;
@@ -154,6 +175,17 @@ ReconfigEvent ReconfigController::load(const std::string& slot,
         event.failed = true;
     }
     events_.push_back(event);
+    if (recorder_ != nullptr && recorder_->enabled()) {
+        obs::MetricRegistry& m = recorder_->metrics();
+        m.add(obs_ids_.loads);
+        // Every attempt streams the full partial bitstream over the port.
+        m.add(obs_ids_.bits_written,
+              static_cast<double>(event.bits) * event.attempts);
+        if (event.attempts > 1) m.add(obs_ids_.retries, event.attempts - 1);
+        if (verify_reads > 0) m.add(obs_ids_.verify_reads, verify_reads);
+        if (event.failed) m.add(obs_ids_.failures);
+        m.observe(obs_ids_.load_seconds, event.time_s);
+    }
     return event;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "refpga/fault/fault.hpp"
+#include "refpga/obs/obs.hpp"
 #include "refpga/reconfig/bitstream.hpp"
 #include "refpga/reconfig/config_port.hpp"
 
@@ -116,6 +117,12 @@ public:
     /// The memory must outlive the controller; pass nullptr to detach.
     void attach_memory(ConfigMemory* memory) { memory_ = memory; }
 
+    /// Attach (or detach with nullptr) an observability recorder. load()
+    /// then bumps reconfig.{loads,loads_skipped,load_retries,load_failures,
+    /// bits_written,verify_reads}_total and observes the modelled per-load
+    /// time into reconfig.load_seconds. Non-owning.
+    void set_recorder(obs::Recorder* recorder);
+
     // --- ledger ---------------------------------------------------------------
 
     [[nodiscard]] const std::vector<ReconfigEvent>& events() const { return events_; }
@@ -138,6 +145,13 @@ private:
     std::vector<Slot> slots_;
     std::map<std::string, std::vector<std::string>> slot_modules_;
     std::vector<ReconfigEvent> events_;
+
+    obs::Recorder* recorder_ = nullptr;  // not owned
+    struct ObsIds {
+        obs::MetricId loads, skipped, retries, failures;
+        obs::MetricId bits_written, verify_reads;
+        obs::MetricId load_seconds;
+    } obs_ids_;
 };
 
 }  // namespace refpga::reconfig

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,20 @@ struct VcdActivity {
     [[nodiscard]] double toggle_rate_hz(const std::string& signal) const;
 };
 
-/// Parses a VCD stream produced by VcdWriter (scalar variables only).
+/// Malformed VCD input. The §4.3 flow feeds externally produced dumps into
+/// the power estimator, so the parser rejects broken files loudly instead of
+/// silently producing zero activity (which would read as "no dynamic power").
+class VcdParseError : public std::runtime_error {
+public:
+    explicit VcdParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses a VCD stream produced by VcdWriter (scalar variables only; vector
+/// changes are skipped after validating their identifier). Throws
+/// VcdParseError on truncated declarations or directives, value changes for
+/// undeclared identifiers, malformed or non-increasing timestamps, value
+/// changes before the first timestamp, and files with declarations but no
+/// value-change section at all.
 [[nodiscard]] VcdActivity parse_vcd(std::istream& is);
 
 }  // namespace refpga::sim

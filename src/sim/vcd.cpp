@@ -70,7 +70,10 @@ VcdActivity parse_vcd(std::istream& is) {
         if (token == "$var") {
             // $var wire 1 <code> <name> $end
             std::string type, width, code, name, end;
-            if (!(is >> type >> width >> code >> name >> end)) break;
+            if (!(is >> type >> width >> code >> name >> end))
+                throw VcdParseError("vcd: truncated $var declaration");
+            if (end != "$end")
+                throw VcdParseError("vcd: $var declaration not closed by $end");
             code_to_name[code] = name;
             last_value[code] = -1;
         } else if (token[0] == '$') {
@@ -79,25 +82,62 @@ VcdActivity parse_vcd(std::istream& is) {
                 std::string w;
                 while (is >> w && w != "$end") {
                 }
+                if (w != "$end")
+                    throw VcdParseError("vcd: directive " + token +
+                                        " not closed by $end");
             }
         } else if (token[0] == '#') {
-            time = std::stoll(token.substr(1));
+            std::int64_t t = 0;
+            std::size_t consumed = 0;
+            try {
+                t = std::stoll(token.substr(1), &consumed);
+            } catch (const std::exception&) {
+                throw VcdParseError("vcd: malformed timestamp '" + token + "'");
+            }
+            if (consumed != token.size() - 1)
+                throw VcdParseError("vcd: malformed timestamp '" + token + "'");
+            if (first_time >= 0 && t <= time)
+                throw VcdParseError("vcd: non-increasing timestamp '" + token +
+                                    "'");
+            time = t;
             if (first_time < 0) first_time = time;
             activity.duration_ps = time - first_time;
-        } else if (token[0] == '0' || token[0] == '1') {
+        } else if (token[0] == '0' || token[0] == '1' || token[0] == 'x' ||
+                   token[0] == 'z' || token[0] == 'X' || token[0] == 'Z') {
+            if (first_time < 0)
+                throw VcdParseError(
+                    "vcd: value change before the first timestamp");
             const std::string code = token.substr(1);
-            const auto v = static_cast<std::int8_t>(token[0] - '0');
             auto it = last_value.find(code);
-            if (it == last_value.end()) continue;
-            if (it->second >= 0 && it->second != v) {
-                const auto name_it = code_to_name.find(code);
-                if (name_it != code_to_name.end()) ++activity.toggles[name_it->second];
+            if (it == last_value.end())
+                throw VcdParseError("vcd: value change for undeclared "
+                                    "identifier '" + code + "'");
+            if (token[0] != '0' && token[0] != '1') {
+                it->second = -1;  // unknown/hi-Z: resets toggle tracking
+                continue;
             }
+            const auto v = static_cast<std::int8_t>(token[0] - '0');
+            if (it->second >= 0 && it->second != v)
+                ++activity.toggles[code_to_name[code]];
             if (it->second < 0) activity.toggles.try_emplace(code_to_name[code], 0);
             it->second = v;
+        } else if (token[0] == 'b' || token[0] == 'B' || token[0] == 'r' ||
+                   token[0] == 'R') {
+            // Vector/real change (not produced by VcdWriter): the value token
+            // is followed by its identifier; skip it, but still insist it
+            // refers to a declared variable.
+            std::string code;
+            if (!(is >> code))
+                throw VcdParseError("vcd: truncated vector value change");
+            if (code_to_name.find(code) == code_to_name.end())
+                throw VcdParseError("vcd: vector change for undeclared "
+                                    "identifier '" + code + "'");
+        } else {
+            throw VcdParseError("vcd: unrecognized token '" + token + "'");
         }
-        // 'b...' vector changes and 'x/z' states are not produced by VcdWriter.
     }
+    if (first_time < 0 && !code_to_name.empty())
+        throw VcdParseError("vcd: no value-change section after declarations");
     return activity;
 }
 

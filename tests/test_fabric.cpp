@@ -50,6 +50,43 @@ TEST(PartCatalog, SmallestFitPicksExactBoundary) {
     EXPECT_FALSE(smallest_fit(100000, 0, 0).has_value());
 }
 
+// Device-fit boundaries at every slice count the paper's sizing study can
+// land on: an exact fill picks the part, one more slice rolls to the next.
+TEST(PartCatalog, SliceBoundariesAcrossTheCatalog) {
+    EXPECT_EQ(smallest_fit(0, 0, 0), PartName::XC3S50);
+    EXPECT_EQ(smallest_fit(768, 0, 0), PartName::XC3S50);
+    EXPECT_EQ(smallest_fit(769, 0, 0), PartName::XC3S200);
+    EXPECT_EQ(smallest_fit(1920, 0, 0), PartName::XC3S200);
+    EXPECT_EQ(smallest_fit(1921, 0, 0), PartName::XC3S400);
+    EXPECT_EQ(smallest_fit(7680, 0, 0), PartName::XC3S1000);
+    EXPECT_EQ(smallest_fit(7681, 0, 0), PartName::XC3S1500);
+    EXPECT_EQ(smallest_fit(13313, 0, 0), PartName::XC3S2000);
+    EXPECT_EQ(smallest_fit(20481, 0, 0), PartName::XC3S4000);
+    EXPECT_EQ(smallest_fit(27649, 0, 0), PartName::XC3S5000);
+    // The catalog tops out at the XC3S5000's 33280 slices.
+    EXPECT_EQ(smallest_fit(33280, 0, 0), PartName::XC3S5000);
+    EXPECT_FALSE(smallest_fit(33281, 0, 0).has_value());
+}
+
+TEST(PartCatalog, BramAndMultiplierDemandsGateTheFitIndependently) {
+    // A design tiny in slices still escalates on memory or DSP demand.
+    EXPECT_EQ(smallest_fit(1, 4, 0), PartName::XC3S50);
+    EXPECT_EQ(smallest_fit(1, 5, 0), PartName::XC3S200);
+    EXPECT_EQ(smallest_fit(1, 12, 12), PartName::XC3S200);
+    EXPECT_EQ(smallest_fit(1, 13, 0), PartName::XC3S400);
+    EXPECT_EQ(smallest_fit(1, 0, 13), PartName::XC3S400);
+    EXPECT_EQ(smallest_fit(1, 16, 16), PartName::XC3S400);
+    EXPECT_EQ(smallest_fit(1, 0, 17), PartName::XC3S1000);
+    // XC3S4000/5000 jump to 96/104 blocks; 97 needs the largest part.
+    EXPECT_EQ(smallest_fit(1, 97, 0), PartName::XC3S5000);
+    EXPECT_FALSE(smallest_fit(1, 105, 0).has_value());
+    EXPECT_FALSE(smallest_fit(1, 0, 105).has_value());
+    // All three demands must fit at once: slices force XC3S1000-class while
+    // BRAM stays easy, and vice versa.
+    EXPECT_EQ(smallest_fit(3585, 4, 4), PartName::XC3S1000);
+    EXPECT_EQ(smallest_fit(100, 24, 0), PartName::XC3S1000);
+}
+
 TEST(PartCatalog, StaticPowerGrowsWithSize) {
     EXPECT_LT(part(PartName::XC3S200).static_power_mw(),
               part(PartName::XC3S1000).static_power_mw());

@@ -297,6 +297,101 @@ TEST(Vcd, ActivityFromVcdMatchesDirect) {
         EXPECT_NEAR(from_vcd.rate_hz(n), direct.rate_hz(n), direct.rate_hz(n) * 0.05);
 }
 
+// ------------------------------------------------- malformed VCD input
+
+namespace {
+
+constexpr const char* kVcdHeader =
+    "$timescale 1ps $end\n"
+    "$scope module top $end\n"
+    "$var wire 1 ! q0 $end\n"
+    "$upscope $end\n"
+    "$enddefinitions $end\n";
+
+VcdActivity parse_string(const std::string& text) {
+    std::istringstream is(text);
+    return parse_vcd(is);
+}
+
+}  // namespace
+
+TEST(VcdRobustness, TruncatedVarDeclarationThrows) {
+    EXPECT_THROW((void)parse_string("$timescale 1ps $end\n$var wire 1 !"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, VarNotClosedByEndThrows) {
+    EXPECT_THROW((void)parse_string("$var wire 1 ! q0 $oops\n#0\n1!\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, UnterminatedDirectiveThrows) {
+    EXPECT_THROW((void)parse_string("$scope module top"), VcdParseError);
+}
+
+TEST(VcdRobustness, UnknownIdentifierCodeThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "#0\n1\"\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, NonIncreasingTimestampsThrow) {
+    EXPECT_THROW(
+        (void)parse_string(std::string(kVcdHeader) + "#0\n1!\n#5\n0!\n#5\n1!\n"),
+        VcdParseError);
+    EXPECT_THROW(
+        (void)parse_string(std::string(kVcdHeader) + "#10\n1!\n#3\n0!\n"),
+        VcdParseError);
+}
+
+TEST(VcdRobustness, MalformedTimestampThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "#\n1!\n"),
+                 VcdParseError);
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "#12ps\n1!\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, ValueChangeBeforeFirstTimestampThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "1!\n#0\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, DeclarationsWithoutValueChangeSectionThrow) {
+    EXPECT_THROW((void)parse_string(kVcdHeader), VcdParseError);
+}
+
+TEST(VcdRobustness, EmptyStreamYieldsEmptyActivity) {
+    // No declarations at all is not an error — just nothing to report.
+    const VcdActivity activity = parse_string("");
+    EXPECT_EQ(activity.duration_ps, 0);
+    EXPECT_TRUE(activity.toggles.empty());
+}
+
+TEST(VcdRobustness, UnrecognizedTokenThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "#0\nhello\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, VectorChangesAreSkippedButValidated) {
+    // A declared identifier's vector change parses (and contributes no
+    // scalar toggles); an undeclared or truncated one throws.
+    const VcdActivity ok = parse_string(std::string(kVcdHeader) +
+                                        "#0\nb1010 !\n1!\n#5\n0!\n");
+    EXPECT_EQ(ok.toggles.at("q0"), 1);
+    EXPECT_THROW(
+        (void)parse_string(std::string(kVcdHeader) + "#0\nb1010 \"\n"),
+        VcdParseError);
+    EXPECT_THROW((void)parse_string(std::string(kVcdHeader) + "#0\nb1010"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, UnknownStateResetsToggleTracking) {
+    // 1 -> x -> 1 is not a toggle; 1 -> x -> 0 is not either (the resume
+    // value seeds tracking afresh, matching first-dump semantics).
+    const VcdActivity activity = parse_string(
+        std::string(kVcdHeader) + "#0\n1!\n#5\nx!\n#10\n1!\n#15\n0!\n");
+    EXPECT_EQ(activity.toggles.at("q0"), 1);
+}
+
 // ------------------------------------------------- randomized properties
 
 /// One fixture netlist with every arithmetic operator at a given width,
