@@ -13,6 +13,8 @@
 // --metrics-json additionally arms the refpga::obs recorder: the obs JSON is
 // written to FILE ("-" = stdout) and embedded in the --json report under
 // "observability" (wall-clock facts, so only present when asked for).
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -25,6 +27,13 @@
 #include "refpga/obs/obs.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM flip this flag; the campaign stops dispatching, records
+// unstarted scenarios as "cancelled before start" failures, and the final
+// report (plus the non-zero exit) shows exactly what was skipped.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 
 int parse_int(const char* text, const char* flag) {
     char* end = nullptr;
@@ -90,8 +99,12 @@ int main(int argc, char** argv) {
                   << " thread(s), " << cycles << " cycles each (seed " << seed
                   << ")\n\n";
 
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
     obs::Recorder recorder;
     fleet::CampaignOptions options(threads);
+    options.stop = &g_stop;
     if (!metrics_path.empty()) options.recorder = &recorder;
 
     const fleet::CampaignResult result =
@@ -114,5 +127,8 @@ int main(int argc, char** argv) {
     }
 
     std::cout << (json ? report.render_json() : report.render_text()) << "\n";
+    if (g_stop.load() && !json)
+        std::cerr << "interrupted: unstarted scenarios reported as "
+                     "\"cancelled before start\"\n";
     return result.failure_count() == 0 ? 0 : 1;
 }

@@ -1,0 +1,188 @@
+// Sharded campaign service driver: runs a JSON-specified sweep across N
+// worker processes with streaming aggregation, work stealing and
+// checkpoint/resume.
+//
+//   ./build/examples/campaignd --spec job.json --workers 4
+//   ./build/examples/campaignd --spec job.json --checkpoint run.ckpt
+//   ./build/examples/campaignd --spec job.json --checkpoint run.ckpt --resume
+//   ./build/examples/campaignd --spec job.json --http-port 9464   # /metrics
+//   ./build/examples/campaignd --spec job.json --json --out report.json
+//
+// The merged report is byte-identical to a single-process `campaign` run of
+// the same job: outcomes are deterministic per scenario seed and the
+// streaming accumulator renders them in sweep order, so neither worker
+// count, batch interleaving, a crashed-and-reassigned worker nor a
+// checkpoint resume can change a byte of the output.
+//
+// SIGINT/SIGTERM stop dispatch, drain in-flight batches into the checkpoint
+// and report what completed; the exit code is then non-zero and a --resume
+// run finishes the sweep without recomputing.
+//
+// The hidden --campaign-worker mode is how the coordinator re-executes this
+// binary as a worker (wire protocol on fds 3/4); it is not for interactive
+// use.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "refpga/svc/coordinator.hpp"
+#include "refpga/svc/http.hpp"
+#include "refpga/svc/job.hpp"
+#include "refpga/svc/worker.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+int parse_int(const char* text, const char* flag) {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0) {
+        std::cerr << "invalid value for " << flag << ": " << text << "\n";
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+int usage() {
+    std::cerr << "usage: campaignd --spec FILE [--workers N] [--threads N]\n"
+                 "                 [--batch N] [--shard N]\n"
+                 "                 [--checkpoint FILE [--resume]]\n"
+                 "                 [--spool FILE] [--http-port P]\n"
+                 "                 [--json] [--out FILE] [--no-restart]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace refpga;
+
+    // Worker mode: this process was forked+exec'd by a coordinator with the
+    // wire protocol pinned to fds 3 (in) and 4 (out). No CLI, no stdout.
+    if (argc == 2 && std::string(argv[1]) == "--campaign-worker")
+        return svc::worker_main(3, 4);
+
+    std::string spec_path;
+    std::string checkpoint_path;
+    std::string spool_path;
+    std::string out_path;
+    bool resume = false;
+    bool json = false;
+    bool restart = true;
+    int http_port = -1;
+    svc::CoordinatorOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--spec" && i + 1 < argc) {
+            spec_path = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            options.workers = parse_int(argv[++i], "--workers");
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options.worker_threads = parse_int(argv[++i], "--threads");
+        } else if (arg == "--batch" && i + 1 < argc) {
+            options.batch =
+                static_cast<std::uint64_t>(parse_int(argv[++i], "--batch"));
+        } else if (arg == "--shard" && i + 1 < argc) {
+            options.shard =
+                static_cast<std::uint64_t>(parse_int(argv[++i], "--shard"));
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
+            checkpoint_path = argv[++i];
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--spool" && i + 1 < argc) {
+            spool_path = argv[++i];
+        } else if (arg == "--http-port" && i + 1 < argc) {
+            http_port = parse_int(argv[++i], "--http-port");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--no-restart") {
+            restart = false;
+        } else {
+            return usage();
+        }
+    }
+    if (spec_path.empty()) return usage();
+    if (options.workers < 1 || options.worker_threads < 1 ||
+        options.batch < 1) {
+        std::cerr << "--workers, --threads and --batch must be >= 1\n";
+        return 2;
+    }
+    if (resume && checkpoint_path.empty()) {
+        std::cerr << "--resume requires --checkpoint\n";
+        return 2;
+    }
+
+    std::ifstream spec_in(spec_path);
+    if (!spec_in) {
+        std::cerr << "cannot read job spec " << spec_path << "\n";
+        return 2;
+    }
+    std::ostringstream spec_text;
+    spec_text << spec_in.rdbuf();
+
+    try {
+        const svc::JobSpec spec = svc::JobSpec::from_json(spec_text.str());
+
+        std::signal(SIGINT, handle_stop_signal);
+        std::signal(SIGTERM, handle_stop_signal);
+
+        obs::Recorder recorder;
+        svc::HttpEndpoint http;
+        options.checkpoint_path = checkpoint_path;
+        options.resume = resume;
+        options.spool_path =
+            spool_path.empty() ? spec_path + ".spool" : spool_path;
+        options.restart_dead_workers = restart;
+        options.recorder = &recorder;
+        options.stop = &g_stop;
+        options.launch = svc::CoordinatorOptions::Launch::Exec;
+        options.exec_path = argv[0];
+        if (http_port >= 0) {
+            http.listen(static_cast<std::uint16_t>(http_port));
+            options.http = &http;
+            std::cerr << "campaignd: serving /metrics on 127.0.0.1:"
+                      << http.port() << "\n";
+        }
+
+        svc::Coordinator coordinator(spec, options);
+        const svc::CoordinatorResult result = coordinator.run();
+
+        std::cerr << "campaignd: " << result.scenarios_committed << "/"
+                  << spec.grid_size() << " scenarios ("
+                  << result.scenarios_resumed << " resumed), "
+                  << result.shards_dispatched << " shards, "
+                  << result.shards_stolen << " stolen, "
+                  << result.shards_reassigned << " reassigned, "
+                  << result.worker_restarts << " restarts\n";
+        if (!result.completed)
+            std::cerr << "campaignd: incomplete: " << result.error << "\n";
+
+        const std::string report = json ? coordinator.report().render_json()
+                                        : coordinator.report().render_text();
+        if (out_path.empty()) {
+            std::cout << report << "\n";
+        } else {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::cerr << "cannot write " << out_path << "\n";
+                return 2;
+            }
+            out << report << "\n";
+        }
+        if (!result.completed) return 1;
+        return coordinator.report().failure_count() == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "campaignd: " << e.what() << "\n";
+        return 2;
+    }
+}

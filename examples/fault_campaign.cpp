@@ -14,6 +14,8 @@
 // --metrics-json arms the refpga::obs recorder (scrub hits, load retries,
 // per-scenario wall time); FILE of "-" writes to stdout, and the --json
 // report gains an "observability" block.
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -26,6 +28,12 @@
 #include "refpga/obs/obs.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM flip this flag; unstarted scenarios become "cancelled
+// before start" failures and the run exits non-zero on an incomplete sweep.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 
 int parse_int(const char* text, const char* flag) {
     char* end = nullptr;
@@ -100,8 +108,12 @@ int main(int argc, char** argv) {
                      "upset_rate axis group for\navailability vs rate and the "
                      "port axis group for scrub-bandwidth effects\n\n";
 
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
     obs::Recorder recorder;
     fleet::CampaignOptions options(threads);
+    options.stop = &g_stop;
     if (!metrics_path.empty()) options.recorder = &recorder;
 
     const fleet::CampaignResult result =
@@ -124,5 +136,8 @@ int main(int argc, char** argv) {
     }
 
     std::cout << (json ? report.render_json() : report.render_text()) << "\n";
+    if (g_stop.load() && !json)
+        std::cerr << "interrupted: unstarted scenarios reported as "
+                     "\"cancelled before start\"\n";
     return result.failure_count() == 0 ? 0 : 1;
 }

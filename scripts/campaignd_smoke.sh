@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sharded campaign service: boots campaignd with two
+# workers and a Prometheus endpoint, scrapes /metrics mid-run, SIGKILLs one
+# worker process, and then requires a clean exit with the full scenario
+# count in the merged report — proving the steal/reassign/restart machinery
+# survives a real process death, not just the in-process test double.
+#
+# Usage: scripts/campaignd_smoke.sh [BUILD_DIR] [OUT_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-campaignd-smoke}"
+CAMPAIGND="$BUILD_DIR/examples/campaignd"
+[ -x "$CAMPAIGND" ] || { echo "FAIL: $CAMPAIGND not built" >&2; exit 1; }
+
+mkdir -p "$OUT_DIR"
+SPEC="$OUT_DIR/job.json"
+REPORT="$OUT_DIR/report.json"
+LOG="$OUT_DIR/campaignd.log"
+METRICS="$OUT_DIR/metrics.prom"
+EXPECTED=48
+
+# 24 noise levels x 2 upset rates: uniform-cost scenarios, long enough that
+# the mid-run scrape and the worker kill land while the sweep is in flight.
+python3 - "$SPEC" <<'EOF'
+import json, sys
+spec = {
+    "variants": ["reconfigured-hw"],
+    "parts": ["xc3s200"],
+    "ports": ["jcap"],
+    "noise_levels": [1e-3 * (1 + 0.05 * i) for i in range(24)],
+    "upset_rates": [0.0, 0.5],
+    "cycles": 6,
+    "campaign_seed": 20080808,
+}
+json.dump(spec, open(sys.argv[1], "w"))
+EOF
+
+"$CAMPAIGND" --spec "$SPEC" --workers 2 --batch 1 \
+    --http-port 0 --json --out "$REPORT" \
+    --spool "$OUT_DIR/job.spool" 2> "$LOG" &
+DAEMON=$!
+
+# The bound port is printed to stderr once the listener is up (before the
+# run starts), so the scrape below can never miss the server: connections
+# queue in the listen backlog until the event loop accepts them.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*serving \/metrics on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG" | head -1)
+    [ -n "$PORT" ] && break
+    if ! kill -0 "$DAEMON" 2>/dev/null; then
+        cat "$LOG" >&2
+        echo "FAIL: campaignd died before serving /metrics" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$PORT" ] || { cat "$LOG" >&2; echo "FAIL: no /metrics port in $LOG" >&2; exit 1; }
+
+python3 - "$PORT" "$METRICS" <<'EOF'
+import sys, urllib.request
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=60).read().decode()
+open(sys.argv[2], "w").write(body)
+assert "svc_workers_alive" in body, "svc gauges missing from scrape"
+assert "svc_scenarios_committed_total" in body, "svc counters missing from scrape"
+EOF
+
+# SIGKILL one worker mid-run; the coordinator must requeue its in-flight
+# range (and restart it), and the final report must not lose a scenario.
+VICTIM=""
+for _ in $(seq 1 100); do
+    VICTIM=$(pgrep -P "$DAEMON" -f 'campaign-worker' | head -1 || true)
+    [ -n "$VICTIM" ] && break
+    sleep 0.05
+done
+[ -n "$VICTIM" ] || { echo "FAIL: no worker process found to kill" >&2; exit 1; }
+kill -KILL "$VICTIM"
+
+if ! wait "$DAEMON"; then
+    cat "$LOG" >&2
+    echo "FAIL: campaignd exited non-zero after worker kill" >&2
+    exit 1
+fi
+cat "$LOG"
+
+python3 - "$REPORT" "$EXPECTED" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+expected = int(sys.argv[2])
+count = report["campaign"]["scenario_count"]
+rows = len(report["scenarios"])
+assert count == expected, f"report claims {count} scenarios, expected {expected}"
+assert rows == expected, f"report carries {rows} scenario rows, expected {expected}"
+EOF
+
+# The kill must actually have been absorbed by the service: either the dead
+# worker's range was reassigned or the worker was restarted (usually both).
+REASSIGNED=$(sed -n 's/.* \([0-9]*\) reassigned.*/\1/p' "$LOG" | head -1)
+RESTARTS=$(sed -n 's/.* \([0-9]*\) restarts.*/\1/p' "$LOG" | head -1)
+if [ "${REASSIGNED:-0}" -eq 0 ] && [ "${RESTARTS:-0}" -eq 0 ]; then
+    echo "FAIL: worker kill left no trace (0 reassigned, 0 restarts)" >&2
+    exit 1
+fi
+
+echo "PASS: $EXPECTED/$EXPECTED scenarios after worker kill" \
+     "(reassigned=$REASSIGNED restarts=$RESTARTS)"

@@ -1,0 +1,104 @@
+// Merged set of disjoint half-open index intervals [first, last).
+//
+// Used by the campaign service to track which scenario indices have been
+// committed (streaming aggregation, checkpoint/resume) and to compute the
+// ranges still missing. Intervals are kept sorted and coalesced, so the
+// memory footprint is O(fragments), not O(indices) — a resumed sweep with
+// contiguous batches holds a handful of entries however large the grid is.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "refpga/common/contracts.hpp"
+
+namespace refpga {
+
+class IntervalSet {
+public:
+    struct Interval {
+        std::size_t first = 0;
+        std::size_t last = 0;  ///< exclusive
+
+        [[nodiscard]] std::size_t count() const { return last - first; }
+        friend constexpr bool operator==(const Interval&, const Interval&) = default;
+    };
+
+    /// True if [first, first+count) overlaps nothing already present.
+    [[nodiscard]] bool disjoint(std::size_t first, std::size_t count) const {
+        const std::size_t last = first + count;
+        for (const Interval& iv : intervals_) {
+            if (iv.first >= last) break;
+            if (iv.last > first) return false;
+        }
+        return true;
+    }
+
+    /// Inserts [first, first+count); the range must be disjoint from the set
+    /// (a duplicate commit is a protocol violation, not a mergeable event).
+    void add(std::size_t first, std::size_t count) {
+        REFPGA_EXPECTS(count > 0);
+        REFPGA_EXPECTS(first + count > first);  // no wraparound
+        REFPGA_EXPECTS(disjoint(first, count));
+        const std::size_t last = first + count;
+        // Find insertion point, then coalesce with touching neighbours.
+        std::size_t i = 0;
+        while (i < intervals_.size() && intervals_[i].last < first) ++i;
+        if (i < intervals_.size() && intervals_[i].last == first) {
+            intervals_[i].last = last;
+            if (i + 1 < intervals_.size() && intervals_[i + 1].first == last) {
+                intervals_[i].last = intervals_[i + 1].last;
+                intervals_.erase(intervals_.begin() +
+                                 static_cast<std::ptrdiff_t>(i) + 1);
+            }
+        } else if (i < intervals_.size() && intervals_[i].first == last) {
+            intervals_[i].first = first;
+        } else {
+            intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(i),
+                              Interval{first, last});
+        }
+        total_ += count;
+    }
+
+    [[nodiscard]] bool contains(std::size_t index) const {
+        for (const Interval& iv : intervals_) {
+            if (iv.first > index) break;
+            if (index < iv.last) return true;
+        }
+        return false;
+    }
+
+    /// Total indices covered.
+    [[nodiscard]] std::size_t count() const { return total_; }
+    /// True when the set covers exactly [0, n).
+    [[nodiscard]] bool covers_exactly(std::size_t n) const {
+        if (n == 0) return intervals_.empty();
+        return intervals_.size() == 1 && intervals_[0].first == 0 &&
+               intervals_[0].last == n;
+    }
+
+    /// Sorted disjoint intervals.
+    [[nodiscard]] const std::vector<Interval>& intervals() const {
+        return intervals_;
+    }
+
+    /// Ranges of [0, n) not covered by the set, in ascending order.
+    [[nodiscard]] std::vector<Interval> missing(std::size_t n) const {
+        std::vector<Interval> gaps;
+        std::size_t cursor = 0;
+        for (const Interval& iv : intervals_) {
+            if (iv.first >= n) break;
+            if (iv.first > cursor) gaps.push_back({cursor, iv.first});
+            cursor = iv.last;
+        }
+        if (cursor < n) gaps.push_back({cursor, n});
+        return gaps;
+    }
+
+private:
+    std::vector<Interval> intervals_;  ///< sorted, disjoint, non-touching
+    std::size_t total_ = 0;
+};
+
+}  // namespace refpga

@@ -4,6 +4,7 @@
 // keeps the formatting consistent and the bench code focused on content.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,18 @@ public:
     [[nodiscard]] std::string render() const;
 
     [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    // Streaming primitives: render() is a composition of these, so a caller
+    // that cannot hold all rows at once (the campaign service's streaming
+    // report merge) can grow widths incrementally and emit rows later with
+    // byte-identical formatting.
+    [[nodiscard]] static std::vector<std::size_t> widths_of(
+        const std::vector<std::string>& header);
+    static void grow_widths(std::vector<std::size_t>& widths,
+                            const std::vector<std::string>& cells);
+    static void emit_row(std::ostream& os, const std::vector<std::size_t>& widths,
+                         const std::vector<std::string>& cells);
+    static void emit_rule(std::ostream& os, const std::vector<std::size_t>& widths);
 
 private:
     std::vector<std::string> header_;

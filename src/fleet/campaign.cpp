@@ -99,6 +99,19 @@ ScenarioOutcome run_one(const Scenario& s, const std::array<VariantFit, 3>& fits
                         const CampaignOptions& campaign, const CampaignObs& cobs) {
     ScenarioOutcome o;
     o.scenario = s;
+    if (campaign.stop != nullptr &&
+        campaign.stop->load(std::memory_order_relaxed)) {
+        // Graceful shutdown: not-yet-started scenarios become diagnosable
+        // failure records, so the report shows exactly what was skipped and
+        // the campaign exits non-zero on an incomplete sweep.
+        o.ok = false;
+        o.error = "cancelled before start";
+        if (cobs.rec != nullptr && cobs.rec->enabled()) {
+            cobs.rec->metrics().add(cobs.scenarios);
+            cobs.rec->metrics().add(cobs.failures);
+        }
+        return o;
+    }
     obs::ScopedSpan scenario_span(cobs.rec, cobs.span, cobs.wall);
     try {
         if (campaign.scenario_probe) campaign.scenario_probe(s);

@@ -11,6 +11,7 @@
 // so a campaign's report is byte-identical however it is scheduled.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -96,6 +97,12 @@ struct CampaignOptions {
     /// export — scenario outcomes and the campaign report body stay
     /// byte-identical across thread counts. Non-owning; must outlive run().
     obs::Recorder* recorder = nullptr;
+    /// Graceful-shutdown flag (typically set by a SIGINT/SIGTERM handler).
+    /// When it reads true, scenarios not yet started are recorded as failed
+    /// outcomes with error "cancelled before start" instead of running —
+    /// in-flight scenarios finish normally, so the runner drains rather
+    /// than aborts. Non-owning; must outlive run(). nullptr = never stop.
+    const std::atomic<bool>* stop = nullptr;
 
     CampaignOptions() = default;
     CampaignOptions(int threads_) : threads(threads_) {}  // NOLINT: {N} spells a thread count

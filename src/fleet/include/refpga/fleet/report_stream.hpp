@@ -1,0 +1,136 @@
+// Bounded-memory streaming aggregation of campaign outcomes.
+//
+// A ReportAccumulator merges scenario-outcome batches — arriving in any
+// order, e.g. interleaved from several worker processes — into the same
+// report a single-process CampaignReport would render, without ever holding
+// the full outcome list in memory. Each committed batch is appended to an
+// on-disk spool (encoded via outcome_codec) and reduced on arrival into
+// running state: per-metric value columns for the summary percentiles,
+// per-axis group columns, text-table column widths and failure counts. The
+// decoded rows themselves are dropped as soon as the batch is reduced, so
+// peak retained rows is the largest single batch (max_retained_rows()),
+// independent of sweep size.
+//
+// Byte-identity: render_text()/render_json() of a complete accumulator
+// equal CampaignReport::from(...)'s renderings of the same outcomes in
+// sweep order, byte for byte — both compose their output from the shared
+// fragment renderers and the one deterministic float-format path, and
+// MetricSummary::of sorts before reducing, so arrival order cannot leak
+// into any rendered number.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "refpga/common/interval_set.hpp"
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/report.hpp"
+
+namespace refpga::fleet {
+
+class ReportAccumulator {
+public:
+    /// `scenario_count` is the full sweep size the accumulator expects;
+    /// `spool_path` is created (truncated) and owned for the accumulator's
+    /// lifetime. Throws std::runtime_error when the spool cannot be opened.
+    ReportAccumulator(std::size_t scenario_count, std::string spool_path);
+
+    ReportAccumulator(const ReportAccumulator&) = delete;
+    ReportAccumulator& operator=(const ReportAccumulator&) = delete;
+
+    /// Commits the contiguous batch [first, first+batch.size()). Batches may
+    /// arrive in any order; committing an index twice throws
+    /// ContractViolation (the campaign service guarantees exactly-once
+    /// delivery; a duplicate is a protocol bug, not mergeable data).
+    void add(std::size_t first, const std::vector<ScenarioOutcome>& batch);
+
+    /// Same commit from already-encoded outcome lines (the coordinator feeds
+    /// wire payloads and checkpoint records straight through). Throws
+    /// CodecError on a malformed line; nothing is committed in that case.
+    void add_encoded(std::size_t first, const std::vector<std::string>& lines);
+
+    [[nodiscard]] std::size_t scenario_count() const { return scenario_count_; }
+    [[nodiscard]] std::size_t committed() const { return covered_.count(); }
+    [[nodiscard]] bool complete() const {
+        return covered_.covers_exactly(scenario_count_);
+    }
+    [[nodiscard]] std::size_t failure_count() const { return failures_; }
+    /// Committed index ranges (sorted, disjoint) — the coordinator journals
+    /// and resumes from these.
+    [[nodiscard]] const IntervalSet& covered() const { return covered_; }
+
+    /// High-water mark of decoded outcome rows held in memory at once: the
+    /// largest batch committed so far (renders decode one row at a time).
+    [[nodiscard]] std::size_t max_retained_rows() const {
+        return max_retained_rows_;
+    }
+    /// Spool segments pending the final ordered merge (the merge backlog:
+    /// out-of-order commits append segments; rendering drains them in index
+    /// order).
+    [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+    /// See CampaignReport::attach_metrics_json.
+    void attach_metrics_json(std::string metrics_json) {
+        metrics_json_ = std::move(metrics_json);
+    }
+
+    /// Renders the committed outcomes in sweep-index order by streaming the
+    /// spool (one decoded row in memory at a time). On a complete
+    /// accumulator the output is byte-identical to CampaignReport's; a
+    /// partial accumulator renders the committed subset (callers decide how
+    /// to flag incompleteness).
+    [[nodiscard]] std::string render_text() const;
+    [[nodiscard]] std::string render_json() const;
+
+private:
+    struct Segment {
+        std::size_t first = 0;
+        std::size_t count = 0;
+        std::streamoff offset = 0;  ///< byte offset into the spool
+    };
+
+    /// Per-group accumulated state; metric columns hold the successful
+    /// scenarios' values in arrival order (summaries sort before reducing).
+    struct GroupState {
+        std::size_t axis = 0;  ///< index into render::kAxes
+        std::string value;
+        std::size_t min_index = 0;  ///< smallest member index (for ordering)
+        std::size_t count = 0;
+        std::size_t failures = 0;
+        std::vector<std::vector<double>> metric_values;
+    };
+
+    void reduce(std::size_t index, const ScenarioOutcome& outcome);
+    /// Segments sorted by first index — the render order.
+    [[nodiscard]] std::vector<const Segment*> ordered_segments() const;
+    /// Streams the spool in index order, invoking `fn` per decoded outcome.
+    template <typename Fn>
+    void for_each_committed(Fn&& fn) const;
+    [[nodiscard]] MetricSummary summary_of(std::string_view key) const;
+    /// Group order and facts matching CampaignReport::from exactly.
+    [[nodiscard]] std::vector<std::size_t> ordered_groups() const;
+
+    std::size_t scenario_count_;
+    std::string spool_path_;
+    mutable std::ofstream spool_out_;
+    std::streamoff spool_bytes_ = 0;
+
+    IntervalSet covered_;
+    std::vector<Segment> segments_;
+    std::size_t failures_ = 0;
+    std::size_t max_retained_rows_ = 0;
+
+    std::vector<std::string> metric_keys_;
+    std::vector<std::size_t> widths_;  ///< scenario-table column widths
+    std::vector<std::vector<double>> summary_values_;  ///< per metric key
+    std::vector<GroupState> groups_;
+    std::map<std::pair<std::size_t, std::string>, std::size_t> group_index_;
+
+    std::string metrics_json_;
+};
+
+}  // namespace refpga::fleet

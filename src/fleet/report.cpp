@@ -7,6 +7,7 @@
 
 #include "refpga/common/contracts.hpp"
 #include "refpga/common/table.hpp"
+#include "report_render.hpp"
 
 namespace refpga::fleet {
 
@@ -64,9 +65,8 @@ double outcome_metric(const ScenarioOutcome& o, std::string_view key) {
     return 0.0;
 }
 
-namespace {
+namespace render {
 
-/// One deterministic float-to-text path for every number in both renderings.
 std::string fmt(double v) {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.9g", v);
@@ -106,8 +106,47 @@ std::string axis_value(const ScenarioOutcome& o, std::string_view axis) {
     return {};
 }
 
-constexpr std::string_view kAxes[] = {"variant", "part", "port", "noise",
-                                      "upset_rate"};
+std::vector<std::string> scenario_table_header() {
+    return {"scenario", "status", "level err", "busy (ms)", "reconfig (ms/cyc)",
+            "static (mW)", "dynamic (mW)", "avail", "fit part"};
+}
+
+std::vector<std::string> scenario_row_cells(const ScenarioOutcome& o) {
+    if (!o.ok)
+        return {o.scenario.name, "FAILED", "-", "-", "-", "-", "-", "-", "-"};
+    return {o.scenario.name, o.device_fits ? "ok" : "ok (no fit)",
+            fmt(o.level_error_mean), Table::num(o.cycle_busy_ms, 3),
+            Table::num(o.reconfig_ms_per_cycle, 3), Table::num(o.static_mw, 1),
+            Table::num(o.dynamic_mw, 2), Table::num(o.availability, 3),
+            o.fitted_part.empty() ? "none" : o.fitted_part};
+}
+
+void append_scenario_json(std::ostringstream& os, const ScenarioOutcome& o) {
+    const Scenario& s = o.scenario;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"variant\":\""
+       << app::variant_name(s.variant) << "\",\"part\":\""
+       << fabric::part(s.part).id << "\",\"port\":\"" << port_kind_name(s.port)
+       << "\",\"noise_rms_v\":" << fmt(s.noise_rms_v)
+       << ",\"upset_rate_per_column_s\":" << fmt(s.fault.upset_rate_per_column_s)
+       << ",\"fill\":["
+       << fmt(s.fill.start_level) << "," << fmt(s.fill.end_level)
+       << "],\"cycles\":" << s.cycles << ",\"seed\":" << s.seed
+       << ",\"ok\":" << (o.ok ? "true" : "false");
+    if (!o.ok) {
+        os << ",\"error\":\"" << json_escape(o.error) << "\"}";
+        return;
+    }
+    os << ",\"metrics\":{";
+    bool first = true;
+    for (const std::string& key : report_metric_keys()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << key << "\":" << fmt(outcome_metric(o, key));
+    }
+    os << "},\"resident_slices\":" << o.resident_slices << ",\"fitted_part\":\""
+       << json_escape(o.fitted_part)
+       << "\",\"device_fits\":" << (o.device_fits ? "true" : "false") << "}";
+}
 
 void append_summary_json(std::ostringstream& os, const MetricSummary& s) {
     os << "{\"min\":" << fmt(s.min) << ",\"mean\":" << fmt(s.mean)
@@ -115,15 +154,91 @@ void append_summary_json(std::ostringstream& os, const MetricSummary& s) {
        << ",\"p95\":" << fmt(s.p95) << ",\"count\":" << s.count << "}";
 }
 
-}  // namespace
+void append_text_head(std::ostringstream& os, std::size_t count,
+                      std::size_t failures) {
+    os << "campaign: " << count << " scenarios, " << count - failures << " ok, "
+       << failures << " failed\n\n";
+}
+
+void append_text_failure(std::ostringstream& os, const ScenarioOutcome& o) {
+    os << "  " << o.scenario.name << ": " << o.error << "\n";
+}
+
+void append_text_tail(std::ostringstream& os, const SummaryFn& summary,
+                      const std::vector<GroupFacts>& groups,
+                      const GroupSummaryFn& group_summary) {
+    Table summary_table({"metric", "min", "mean", "p50", "p95", "max"});
+    for (const std::string& key : report_metric_keys()) {
+        const MetricSummary s = summary(key);
+        summary_table.add_row({key, fmt(s.min), fmt(s.mean), fmt(s.p50), fmt(s.p95),
+                               fmt(s.max)});
+    }
+    os << "summary over successful scenarios:\n" << summary_table.render() << "\n";
+
+    Table by_axis({"axis", "value", "scenarios", "failed", "mean level err",
+                   "mean total (mW)"});
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const MetricSummary err = group_summary(g, "level_error_mean");
+        const MetricSummary mw = group_summary(g, "total_mw");
+        by_axis.add_row({groups[g].axis, groups[g].value,
+                         std::to_string(groups[g].scenario_count),
+                         std::to_string(groups[g].failures), fmt(err.mean),
+                         fmt(mw.mean)});
+    }
+    os << "grouped by sweep axis:\n" << by_axis.render();
+}
+
+void append_json_head(std::ostringstream& os, std::size_t count,
+                      std::size_t failures) {
+    os << "{\"campaign\":{\"scenario_count\":" << count
+       << ",\"ok_count\":" << count - failures
+       << ",\"failure_count\":" << failures << "},\"scenarios\":[";
+}
+
+void append_json_tail(std::ostringstream& os, const SummaryFn& summary,
+                      const std::vector<GroupFacts>& groups,
+                      const GroupSummaryFn& group_summary,
+                      const std::string& metrics_json) {
+    os << "],\"summary\":{";
+    bool first = true;
+    for (const std::string& key : report_metric_keys()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << key << "\":";
+        append_summary_json(os, summary(key));
+    }
+    os << "},\"groups\":[";
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const GroupFacts& group = groups[g];
+        if (g) os << ",";
+        os << "{\"axis\":\"" << group.axis << "\",\"value\":\""
+           << json_escape(group.value) << "\",\"scenarios\":" << group.scenario_count
+           << ",\"failures\":" << group.failures << ",\"metrics\":{";
+        bool first_metric = true;
+        for (const std::string& key : report_metric_keys()) {
+            if (!first_metric) os << ",";
+            first_metric = false;
+            os << "\"" << key << "\":";
+            append_summary_json(os, group_summary(g, key));
+        }
+        os << "}}";
+    }
+    os << "]";
+    // The obs block is verbatim-embedded JSON from obs::Recorder; it carries
+    // wall-clock facts, so it only appears when explicitly attached.
+    if (!metrics_json.empty()) os << ",\"observability\":" << metrics_json;
+    os << "}";
+}
+
+}  // namespace render
 
 CampaignReport CampaignReport::from(const CampaignResult& result) {
     CampaignReport report;
     report.outcomes_ = result.outcomes;
     report.failures_ = result.failure_count();
-    for (const std::string_view axis : kAxes) {
+    for (const std::string_view axis : render::kAxes) {
         for (std::size_t i = 0; i < report.outcomes_.size(); ++i) {
-            const std::string value = axis_value(report.outcomes_[i], axis);
+            const std::string value = render::axis_value(report.outcomes_[i], axis);
             auto it = std::find_if(report.groups_.begin(), report.groups_.end(),
                                    [&](const Group& g) {
                                        return g.axis == axis && g.value == value;
@@ -156,118 +271,58 @@ MetricSummary CampaignReport::group_summary(const Group& group,
     return MetricSummary::of(std::move(values));
 }
 
+namespace {
+
+std::vector<render::GroupFacts> group_facts(
+    const std::vector<CampaignReport::Group>& groups) {
+    std::vector<render::GroupFacts> facts;
+    facts.reserve(groups.size());
+    for (const CampaignReport::Group& g : groups)
+        facts.push_back({g.axis, g.value, g.indices.size(), g.failures});
+    return facts;
+}
+
+}  // namespace
+
 std::string CampaignReport::render_text() const {
     std::ostringstream os;
-    os << "campaign: " << outcomes_.size() << " scenarios, "
-       << outcomes_.size() - failures_ << " ok, " << failures_ << " failed\n\n";
+    render::append_text_head(os, outcomes_.size(), failures_);
 
-    Table scenarios({"scenario", "status", "level err", "busy (ms)",
-                     "reconfig (ms/cyc)", "static (mW)", "dynamic (mW)",
-                     "avail", "fit part"});
-    for (const ScenarioOutcome& o : outcomes_) {
-        if (!o.ok) {
-            scenarios.add_row(
-                {o.scenario.name, "FAILED", "-", "-", "-", "-", "-", "-", "-"});
-            continue;
-        }
-        scenarios.add_row({o.scenario.name, o.device_fits ? "ok" : "ok (no fit)",
-                           fmt(o.level_error_mean), Table::num(o.cycle_busy_ms, 3),
-                           Table::num(o.reconfig_ms_per_cycle, 3),
-                           Table::num(o.static_mw, 1), Table::num(o.dynamic_mw, 2),
-                           Table::num(o.availability, 3),
-                           o.fitted_part.empty() ? "none" : o.fitted_part});
-    }
+    Table scenarios(render::scenario_table_header());
+    for (const ScenarioOutcome& o : outcomes_)
+        scenarios.add_row(render::scenario_row_cells(o));
     os << scenarios.render() << "\n";
 
     if (failures_ > 0) {
         os << "failures:\n";
         for (const ScenarioOutcome& o : outcomes_)
-            if (!o.ok) os << "  " << o.scenario.name << ": " << o.error << "\n";
+            if (!o.ok) render::append_text_failure(os, o);
         os << "\n";
     }
 
-    Table summary_table({"metric", "min", "mean", "p50", "p95", "max"});
-    for (const std::string& key : report_metric_keys()) {
-        const MetricSummary s = summary(key);
-        summary_table.add_row({key, fmt(s.min), fmt(s.mean), fmt(s.p50), fmt(s.p95),
-                               fmt(s.max)});
-    }
-    os << "summary over successful scenarios:\n" << summary_table.render() << "\n";
-
-    Table by_axis({"axis", "value", "scenarios", "failed", "mean level err",
-                   "mean total (mW)"});
-    for (const Group& g : groups_) {
-        const MetricSummary err = group_summary(g, "level_error_mean");
-        const MetricSummary mw = group_summary(g, "total_mw");
-        by_axis.add_row({g.axis, g.value, std::to_string(g.indices.size()),
-                         std::to_string(g.failures), fmt(err.mean), fmt(mw.mean)});
-    }
-    os << "grouped by sweep axis:\n" << by_axis.render();
+    render::append_text_tail(
+        os, [this](std::string_view key) { return summary(key); },
+        group_facts(groups_),
+        [this](std::size_t g, std::string_view key) {
+            return group_summary(groups_[g], key);
+        });
     return os.str();
 }
 
 std::string CampaignReport::render_json() const {
     std::ostringstream os;
-    os << "{\"campaign\":{\"scenario_count\":" << outcomes_.size()
-       << ",\"ok_count\":" << outcomes_.size() - failures_
-       << ",\"failure_count\":" << failures_ << "},\"scenarios\":[";
+    render::append_json_head(os, outcomes_.size(), failures_);
     for (std::size_t i = 0; i < outcomes_.size(); ++i) {
-        const ScenarioOutcome& o = outcomes_[i];
-        const Scenario& s = o.scenario;
         if (i) os << ",";
-        os << "{\"name\":\"" << json_escape(s.name) << "\",\"variant\":\""
-           << app::variant_name(s.variant) << "\",\"part\":\""
-           << fabric::part(s.part).id << "\",\"port\":\"" << port_kind_name(s.port)
-           << "\",\"noise_rms_v\":" << fmt(s.noise_rms_v)
-           << ",\"upset_rate_per_column_s\":" << fmt(s.fault.upset_rate_per_column_s)
-           << ",\"fill\":["
-           << fmt(s.fill.start_level) << "," << fmt(s.fill.end_level)
-           << "],\"cycles\":" << s.cycles << ",\"seed\":" << s.seed
-           << ",\"ok\":" << (o.ok ? "true" : "false");
-        if (!o.ok) {
-            os << ",\"error\":\"" << json_escape(o.error) << "\"}";
-            continue;
-        }
-        os << ",\"metrics\":{";
-        bool first = true;
-        for (const std::string& key : report_metric_keys()) {
-            if (!first) os << ",";
-            first = false;
-            os << "\"" << key << "\":" << fmt(outcome_metric(o, key));
-        }
-        os << "},\"resident_slices\":" << o.resident_slices << ",\"fitted_part\":\""
-           << json_escape(o.fitted_part)
-           << "\",\"device_fits\":" << (o.device_fits ? "true" : "false") << "}";
+        render::append_scenario_json(os, outcomes_[i]);
     }
-    os << "],\"summary\":{";
-    bool first = true;
-    for (const std::string& key : report_metric_keys()) {
-        if (!first) os << ",";
-        first = false;
-        os << "\"" << key << "\":";
-        append_summary_json(os, summary(key));
-    }
-    os << "},\"groups\":[";
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
-        const Group& group = groups_[g];
-        if (g) os << ",";
-        os << "{\"axis\":\"" << group.axis << "\",\"value\":\""
-           << json_escape(group.value) << "\",\"scenarios\":" << group.indices.size()
-           << ",\"failures\":" << group.failures << ",\"metrics\":{";
-        bool first_metric = true;
-        for (const std::string& key : report_metric_keys()) {
-            if (!first_metric) os << ",";
-            first_metric = false;
-            os << "\"" << key << "\":";
-            append_summary_json(os, group_summary(group, key));
-        }
-        os << "}}";
-    }
-    os << "]";
-    // The obs block is verbatim-embedded JSON from obs::Recorder; it carries
-    // wall-clock facts, so it only appears when explicitly attached.
-    if (!metrics_json_.empty()) os << ",\"observability\":" << metrics_json_;
-    os << "}";
+    render::append_json_tail(
+        os, [this](std::string_view key) { return summary(key); },
+        group_facts(groups_),
+        [this](std::size_t g, std::string_view key) {
+            return group_summary(groups_[g], key);
+        },
+        metrics_json_);
     return os.str();
 }
 

@@ -1,0 +1,217 @@
+#include "refpga/fleet/report_stream.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/table.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
+#include "report_render.hpp"
+
+namespace refpga::fleet {
+
+namespace {
+
+constexpr std::size_t kAxisCount = std::size(render::kAxes);
+
+}  // namespace
+
+ReportAccumulator::ReportAccumulator(std::size_t scenario_count,
+                                     std::string spool_path)
+    : scenario_count_(scenario_count),
+      spool_path_(std::move(spool_path)),
+      spool_out_(spool_path_, std::ios::binary | std::ios::trunc),
+      metric_keys_(report_metric_keys()),
+      widths_(Table::widths_of(render::scenario_table_header())),
+      summary_values_(metric_keys_.size()) {
+    if (!spool_out_)
+        throw std::runtime_error("ReportAccumulator: cannot open spool file '" +
+                                 spool_path_ + "'");
+}
+
+void ReportAccumulator::add(std::size_t first,
+                            const std::vector<ScenarioOutcome>& batch) {
+    REFPGA_EXPECTS(!batch.empty());
+    REFPGA_EXPECTS(first + batch.size() <= scenario_count_);
+    covered_.add(first, batch.size());  // throws on overlap before any commit
+
+    const std::streamoff offset = spool_bytes_;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        spool_out_ << encode_outcome_line(batch[i]) << '\n';
+        reduce(first + i, batch[i]);
+    }
+    spool_out_.flush();
+    if (!spool_out_)
+        throw std::runtime_error("ReportAccumulator: spool write failed ('" +
+                                 spool_path_ + "')");
+    spool_bytes_ = spool_out_.tellp();
+    segments_.push_back({first, batch.size(), offset});
+    max_retained_rows_ = std::max(max_retained_rows_, batch.size());
+}
+
+void ReportAccumulator::add_encoded(std::size_t first,
+                                    const std::vector<std::string>& lines) {
+    REFPGA_EXPECTS(!lines.empty());
+    // Decode the whole batch before committing anything: a malformed line
+    // must not leave a half-merged batch behind.
+    std::vector<ScenarioOutcome> batch;
+    batch.reserve(lines.size());
+    for (const std::string& line : lines) batch.push_back(decode_outcome_line(line));
+    add(first, batch);
+}
+
+void ReportAccumulator::reduce(std::size_t index, const ScenarioOutcome& o) {
+    Table::grow_widths(widths_, render::scenario_row_cells(o));
+    if (!o.ok) ++failures_;
+    if (o.ok)
+        for (std::size_t k = 0; k < metric_keys_.size(); ++k)
+            summary_values_[k].push_back(outcome_metric(o, metric_keys_[k]));
+
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+        std::string value = render::axis_value(o, render::kAxes[a]);
+        const auto key = std::make_pair(a, value);
+        auto it = group_index_.find(key);
+        if (it == group_index_.end()) {
+            GroupState g;
+            g.axis = a;
+            g.value = std::move(value);
+            g.min_index = index;
+            g.metric_values.resize(metric_keys_.size());
+            groups_.push_back(std::move(g));
+            it = group_index_.emplace(key, groups_.size() - 1).first;
+        }
+        GroupState& g = groups_[it->second];
+        g.min_index = std::min(g.min_index, index);
+        ++g.count;
+        if (!o.ok) {
+            ++g.failures;
+        } else {
+            for (std::size_t k = 0; k < metric_keys_.size(); ++k)
+                g.metric_values[k].push_back(outcome_metric(o, metric_keys_[k]));
+        }
+    }
+}
+
+std::vector<const ReportAccumulator::Segment*>
+ReportAccumulator::ordered_segments() const {
+    std::vector<const Segment*> ordered;
+    ordered.reserve(segments_.size());
+    for (const Segment& s : segments_) ordered.push_back(&s);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Segment* a, const Segment* b) { return a->first < b->first; });
+    return ordered;
+}
+
+template <typename Fn>
+void ReportAccumulator::for_each_committed(Fn&& fn) const {
+    spool_out_.flush();
+    std::ifstream in(spool_path_, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("ReportAccumulator: cannot reopen spool '" +
+                                 spool_path_ + "'");
+    std::string line;
+    for (const Segment* seg : ordered_segments()) {
+        in.seekg(seg->offset);
+        for (std::size_t i = 0; i < seg->count; ++i) {
+            if (!std::getline(in, line))
+                throw std::runtime_error(
+                    "ReportAccumulator: spool truncated mid-segment ('" +
+                    spool_path_ + "')");
+            fn(seg->first + i, decode_outcome_line(line));
+        }
+    }
+}
+
+MetricSummary ReportAccumulator::summary_of(std::string_view key) const {
+    for (std::size_t k = 0; k < metric_keys_.size(); ++k)
+        if (metric_keys_[k] == key) return MetricSummary::of(summary_values_[k]);
+    REFPGA_EXPECTS(false && "unknown report metric key");
+    return {};
+}
+
+std::vector<std::size_t> ReportAccumulator::ordered_groups() const {
+    // CampaignReport::from discovers groups axis-major, then in first-
+    // occurrence (i.e. smallest-member-index) order within each axis.
+    std::vector<std::size_t> order(groups_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+        if (groups_[a].axis != groups_[b].axis)
+            return groups_[a].axis < groups_[b].axis;
+        return groups_[a].min_index < groups_[b].min_index;
+    });
+    return order;
+}
+
+std::string ReportAccumulator::render_text() const {
+    const std::vector<std::size_t> order = ordered_groups();
+    std::vector<render::GroupFacts> facts;
+    facts.reserve(order.size());
+    for (const std::size_t g : order)
+        facts.push_back({std::string(render::kAxes[groups_[g].axis]),
+                         groups_[g].value, groups_[g].count, groups_[g].failures});
+
+    std::ostringstream os;
+    render::append_text_head(os, committed(), failures_);
+
+    Table::emit_rule(os, widths_);
+    Table::emit_row(os, widths_, render::scenario_table_header());
+    Table::emit_rule(os, widths_);
+    for_each_committed([&](std::size_t, const ScenarioOutcome& o) {
+        Table::emit_row(os, widths_, render::scenario_row_cells(o));
+    });
+    Table::emit_rule(os, widths_);
+    os << "\n";
+
+    if (failures_ > 0) {
+        os << "failures:\n";
+        for_each_committed([&](std::size_t, const ScenarioOutcome& o) {
+            if (!o.ok) render::append_text_failure(os, o);
+        });
+        os << "\n";
+    }
+
+    render::append_text_tail(
+        os, [this](std::string_view key) { return summary_of(key); }, facts,
+        [&](std::size_t g, std::string_view key) {
+            const GroupState& group = groups_[order[g]];
+            for (std::size_t k = 0; k < metric_keys_.size(); ++k)
+                if (metric_keys_[k] == key)
+                    return MetricSummary::of(group.metric_values[k]);
+            REFPGA_EXPECTS(false && "unknown report metric key");
+            return MetricSummary{};
+        });
+    return os.str();
+}
+
+std::string ReportAccumulator::render_json() const {
+    const std::vector<std::size_t> order = ordered_groups();
+    std::vector<render::GroupFacts> facts;
+    facts.reserve(order.size());
+    for (const std::size_t g : order)
+        facts.push_back({std::string(render::kAxes[groups_[g].axis]),
+                         groups_[g].value, groups_[g].count, groups_[g].failures});
+
+    std::ostringstream os;
+    render::append_json_head(os, committed(), failures_);
+    bool first = true;
+    for_each_committed([&](std::size_t, const ScenarioOutcome& o) {
+        if (!first) os << ",";
+        first = false;
+        render::append_scenario_json(os, o);
+    });
+    render::append_json_tail(
+        os, [this](std::string_view key) { return summary_of(key); }, facts,
+        [&](std::size_t g, std::string_view key) {
+            const GroupState& group = groups_[order[g]];
+            for (std::size_t k = 0; k < metric_keys_.size(); ++k)
+                if (metric_keys_[k] == key)
+                    return MetricSummary::of(group.metric_values[k]);
+            REFPGA_EXPECTS(false && "unknown report metric key");
+            return MetricSummary{};
+        },
+        metrics_json_);
+    return os.str();
+}
+
+}  // namespace refpga::fleet

@@ -1,0 +1,239 @@
+#include "refpga/svc/checkpoint.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "refpga/common/interval_set.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
+
+namespace refpga::svc {
+
+namespace {
+
+constexpr std::string_view kMagic = "refpga-svc-checkpoint";
+
+std::string header_line(std::uint64_t fingerprint, std::size_t scenario_count) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s v1 codec %d fingerprint %016" PRIx64
+                  " scenarios %zu\n",
+                  std::string(kMagic).c_str(), fleet::kOutcomeCodecVersion,
+                  fingerprint, scenario_count);
+    return buf;
+}
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& why) {
+    throw CheckpointError("checkpoint " + path + ":" + std::to_string(line) +
+                          ": " + why);
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(Tag, const std::string& path) : path_(path) {}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   std::uint64_t fingerprint,
+                                   std::size_t scenario_count)
+    : path_(path) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        throw CheckpointError("cannot create checkpoint " + path + ": " +
+                              std::strerror(errno));
+    const std::string header = header_line(fingerprint, scenario_count);
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size()))
+        throw CheckpointError("cannot write checkpoint header to " + path);
+}
+
+CheckpointWriter CheckpointWriter::resume(const std::string& path,
+                                          std::uint64_t fingerprint,
+                                          std::size_t scenario_count) {
+    // Validate identity first (throws on mismatch), then reopen for append.
+    (void)load_checkpoint(path, fingerprint, scenario_count);
+    CheckpointWriter writer(Tag{}, path);
+    writer.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (writer.fd_ < 0)
+        throw CheckpointError("cannot reopen checkpoint " + path + ": " +
+                              std::strerror(errno));
+    return writer;
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      records_(other.records_) {}
+
+CheckpointWriter& CheckpointWriter::operator=(CheckpointWriter&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        path_ = std::move(other.path_);
+        fd_ = std::exchange(other.fd_, -1);
+        records_ = other.records_;
+    }
+    return *this;
+}
+
+CheckpointWriter::~CheckpointWriter() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckpointWriter::append(std::uint64_t first,
+                              const std::vector<std::string>& lines) {
+    // One buffered record per write(2): the `e` trailer lands in the same
+    // syscall as the data it seals, so a crash can only tear the last record.
+    std::string record =
+        "b " + std::to_string(first) + ' ' + std::to_string(lines.size()) + '\n';
+    for (const std::string& line : lines) {
+        record += line;
+        record += '\n';
+    }
+    record += "e " + std::to_string(first) + '\n';
+    const char* data = record.data();
+    std::size_t n = record.size();
+    while (n > 0) {
+        const ssize_t w = ::write(fd_, data, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            throw CheckpointError("checkpoint append to " + path_ + " failed: " +
+                                  std::strerror(errno));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    ++records_;
+}
+
+CheckpointContents load_checkpoint(const std::string& path,
+                                   std::uint64_t expected_fingerprint,
+                                   std::size_t expected_count) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        throw CheckpointError("cannot open checkpoint " + path);
+
+    CheckpointContents contents;
+    std::string line;
+    std::size_t line_no = 1;
+    if (!std::getline(in, line)) fail(path, line_no, "empty file");
+
+    {
+        std::istringstream header(line);
+        std::string magic, version, codec_kw, fp_kw, fp_hex, sc_kw;
+        int codec = -1;
+        std::size_t scenarios = 0;
+        if (!(header >> magic >> version >> codec_kw >> codec >> fp_kw >> fp_hex >>
+              sc_kw >> scenarios) ||
+            magic != kMagic || codec_kw != "codec" || fp_kw != "fingerprint" ||
+            sc_kw != "scenarios")
+            fail(path, line_no, "malformed header '" + line + "'");
+        if (version != "v1")
+            fail(path, line_no, "unsupported checkpoint version '" + version + "'");
+        if (codec != fleet::kOutcomeCodecVersion)
+            fail(path, line_no,
+                 "outcome codec " + std::to_string(codec) + " != supported " +
+                     std::to_string(fleet::kOutcomeCodecVersion));
+        if (fp_hex.size() != 16 ||
+            std::sscanf(fp_hex.c_str(), "%16" SCNx64, &contents.fingerprint) != 1)
+            fail(path, line_no, "malformed fingerprint '" + fp_hex + "'");
+        contents.scenario_count = scenarios;
+    }
+    if (expected_fingerprint != 0 && contents.fingerprint != expected_fingerprint)
+        fail(path, 1, "job fingerprint mismatch: checkpoint belongs to a different job spec");
+    if (expected_count != 0 && contents.scenario_count != expected_count)
+        fail(path, 1,
+             "scenario count " + std::to_string(contents.scenario_count) +
+                 " != expected " + std::to_string(expected_count));
+
+    // A record that goes wrong exactly at end-of-file is the signature of a
+    // write torn by a crash and is dropped; the same malformation followed
+    // by more data means real corruption and is fatal.
+    const auto at_eof = [&in] { return in.peek() == std::ifstream::traits_type::eof(); };
+
+    IntervalSet covered;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::uint64_t first = 0;
+        std::size_t count = 0;
+        {
+            std::istringstream head(line);
+            std::string tag;
+            if (!(head >> tag >> first >> count) || tag != "b" ||
+                !(head >> std::ws).eof()) {
+                if (at_eof()) {
+                    contents.torn_tail = true;
+                    break;
+                }
+                fail(path, line_no, "expected batch header, got '" + line + "'");
+            }
+        }
+        if (count == 0) fail(path, line_no, "empty batch record");
+
+        const std::size_t header_line_no = line_no;
+        CheckpointBatch batch;
+        batch.first = first;
+        bool torn = false;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!std::getline(in, line)) {
+                torn = true;
+                break;
+            }
+            ++line_no;
+            try {
+                (void)fleet::decode_outcome_line(line);
+            } catch (const fleet::CodecError& e) {
+                if (at_eof()) {
+                    torn = true;
+                    break;
+                }
+                fail(path, line_no, std::string("bad outcome line: ") + e.what());
+            }
+            batch.lines.push_back(line);
+        }
+        if (!torn) {
+            if (!std::getline(in, line)) {
+                torn = true;
+            } else {
+                ++line_no;
+                if (line != "e " + std::to_string(first)) {
+                    if (at_eof()) {
+                        torn = true;
+                    } else {
+                        fail(path, line_no,
+                             "batch trailer mismatch: expected 'e " +
+                                 std::to_string(first) + "', got '" + line + "'");
+                    }
+                }
+            }
+        }
+        if (torn) {
+            // The process died mid-append; everything before this record is
+            // intact. Drop the tail and report it.
+            contents.torn_tail = true;
+            break;
+        }
+        if (first + count > contents.scenario_count)
+            fail(path, header_line_no,
+                 "batch [" + std::to_string(first) + ", " +
+                     std::to_string(first + count) + ") exceeds scenario count " +
+                     std::to_string(contents.scenario_count));
+        try {
+            covered.add(first, count);
+        } catch (const std::exception&) {
+            fail(path, header_line_no,
+                 "batch [" + std::to_string(first) + ", " +
+                     std::to_string(first + count) +
+                     ") overlaps an earlier record");
+        }
+        contents.batches.push_back(std::move(batch));
+    }
+    return contents;
+}
+
+}  // namespace refpga::svc

@@ -1,0 +1,600 @@
+#include "refpga/svc/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/log.hpp"
+#include "refpga/svc/checkpoint.hpp"
+#include "refpga/svc/wire.hpp"
+#include "refpga/svc/worker.hpp"
+
+namespace refpga::svc {
+
+namespace {
+
+/// Contiguous scenario range awaiting assignment.
+struct Range {
+    std::uint64_t first = 0;
+    std::uint64_t end = 0;  ///< exclusive
+
+    [[nodiscard]] std::uint64_t count() const { return end - first; }
+};
+
+struct ShardState {
+    std::uint64_t id = 0;
+    std::uint64_t first = 0;
+    std::uint64_t next = 0;  ///< first index not yet committed
+    std::uint64_t end = 0;   ///< exclusive (shrinks when stolen from)
+};
+
+struct WorkerProc {
+    pid_t pid = -1;
+    int to_fd = -1;    ///< coordinator → worker
+    int from_fd = -1;  ///< worker → coordinator
+    FrameReader reader;
+    bool alive = false;
+    std::optional<ShardState> shard;
+    /// Truncate sent, TruncateAck not yet received; `steal_old_end` is the
+    /// shard end recorded when the steal was initiated.
+    bool steal_pending = false;
+    std::uint64_t steal_old_end = 0;
+    std::uint64_t killed_sent = 0;  ///< SIGKILL test hook fired
+
+    void close_fds() {
+        if (to_fd >= 0) ::close(to_fd);
+        if (from_fd >= 0) ::close(from_fd);
+        to_fd = -1;
+        from_fd = -1;
+    }
+};
+
+struct SvcObs {
+    obs::Recorder* rec = nullptr;
+    obs::MetricId dispatched, stolen, reassigned, restarts, checkpoints,
+        committed, backlog, workers;
+};
+
+SvcObs make_svc_obs(obs::Recorder* rec) {
+    SvcObs o;
+    o.rec = rec;
+    if (rec == nullptr) return o;
+    obs::MetricRegistry& m = rec->metrics();
+    o.dispatched = m.counter("svc.shards_dispatched_total");
+    o.stolen = m.counter("svc.shards_stolen_total");
+    o.reassigned = m.counter("svc.shards_reassigned_total");
+    o.restarts = m.counter("svc.worker_restarts_total");
+    o.checkpoints = m.counter("svc.checkpoint_writes_total");
+    o.committed = m.counter("svc.scenarios_committed_total");
+    o.backlog = m.gauge("svc.merge_backlog_segments");
+    o.workers = m.gauge("svc.workers_alive");
+    return o;
+}
+
+}  // namespace
+
+struct Coordinator::Impl {
+    JobSpec spec;
+    CoordinatorOptions options;
+    std::string job_json;
+    std::size_t grid = 0;
+
+    std::unique_ptr<fleet::ReportAccumulator> accumulator;
+    std::optional<CheckpointWriter> checkpoint;
+    std::vector<WorkerProc> workers;
+    std::deque<Range> pending;
+    SvcObs obs;
+    CoordinatorResult result;
+
+    std::uint64_t next_shard_id = 0;
+    std::uint64_t commits = 0;  ///< batches committed this run
+    bool stopping = false;      ///< stop requested; drain and return
+    bool draining = false;      ///< Shutdown broadcast; no more restarts
+    bool ran = false;
+
+    explicit Impl(JobSpec s, CoordinatorOptions o)
+        : spec(std::move(s)), options(std::move(o)) {
+        REFPGA_EXPECTS(options.workers >= 1);
+        REFPGA_EXPECTS(options.worker_threads >= 1);
+        REFPGA_EXPECTS(options.batch >= 1);
+        REFPGA_EXPECTS(!options.spool_path.empty());
+        job_json = spec.canonical_json();
+        grid = spec.grid_size();
+        if (options.shard == 0) {
+            const std::uint64_t per_worker =
+                (grid + static_cast<std::uint64_t>(options.workers) - 1) /
+                static_cast<std::uint64_t>(options.workers);
+            options.shard = std::max(per_worker, options.batch);
+        }
+        if (options.steal_min == 0) options.steal_min = 2 * options.batch;
+        accumulator =
+            std::make_unique<fleet::ReportAccumulator>(grid, options.spool_path);
+        obs = make_svc_obs(options.recorder);
+    }
+
+    ~Impl() {
+        for (WorkerProc& w : workers) {
+            if (w.alive && w.pid > 0) ::kill(w.pid, SIGKILL);
+            w.close_fds();
+            if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+        }
+    }
+
+    // --- setup -------------------------------------------------------------
+
+    void open_journal() {
+        if (options.checkpoint_path.empty()) return;
+        const std::uint64_t fp = spec.fingerprint();
+        if (options.resume) {
+            const CheckpointContents contents =
+                load_checkpoint(options.checkpoint_path, fp, grid);
+            for (const CheckpointBatch& batch : contents.batches) {
+                accumulator->add_encoded(batch.first, batch.lines);
+                result.scenarios_resumed += batch.lines.size();
+            }
+            checkpoint.emplace(
+                CheckpointWriter::resume(options.checkpoint_path, fp, grid));
+            if (contents.torn_tail)
+                log_warning("svc: dropped torn record at checkpoint tail");
+        } else {
+            checkpoint.emplace(options.checkpoint_path, fp, grid);
+        }
+    }
+
+    void seed_pending() {
+        for (const IntervalSet::Interval& gap :
+             accumulator->covered().missing(grid))
+            pending.push_back(Range{gap.first, gap.last});
+    }
+
+    void spawn_worker(WorkerProc& w) {
+        int to_pipe[2];    // coordinator writes, worker reads
+        int from_pipe[2];  // worker writes, coordinator reads
+        if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0)
+            throw CoordinatorError(std::string("pipe: ") + std::strerror(errno));
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            throw CoordinatorError(std::string("fork: ") + std::strerror(errno));
+        if (pid == 0) {
+            // Child. Keep only the worker ends open.
+            ::close(to_pipe[1]);
+            ::close(from_pipe[0]);
+            for (const WorkerProc& other : workers) {
+                if (other.to_fd >= 0) ::close(other.to_fd);
+                if (other.from_fd >= 0) ::close(other.from_fd);
+            }
+            if (options.launch == CoordinatorOptions::Launch::Exec) {
+                // Pin the protocol pipes to fds 3/4 so a stray stdout write
+                // in the re-executed binary cannot corrupt the frame stream.
+                // Park both above 4 first: the originals may themselves
+                // occupy 3 or 4, and a blind dup2 would clobber one.
+                const int rfd = ::fcntl(to_pipe[0], F_DUPFD, 5);
+                const int wfd = ::fcntl(from_pipe[1], F_DUPFD, 5);
+                if (rfd < 0 || wfd < 0) _exit(127);
+                ::close(to_pipe[0]);
+                ::close(from_pipe[1]);
+                if (::dup2(rfd, 3) < 0 || ::dup2(wfd, 4) < 0) _exit(127);
+                ::close(rfd);
+                ::close(wfd);
+                const char* argv[] = {options.exec_path.c_str(),
+                                      "--campaign-worker", nullptr};
+                ::execv(options.exec_path.c_str(),
+                        const_cast<char* const*>(argv));
+                _exit(127);
+            }
+            // Fork mode: run the protocol loop in-process and leave via
+            // _exit so no parent-inherited atexit/teardown runs twice.
+            _exit(worker_main(to_pipe[0], from_pipe[1]));
+        }
+        // Parent.
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        w.pid = pid;
+        w.to_fd = to_pipe[1];
+        w.from_fd = from_pipe[0];
+        w.reader = FrameReader{};
+        w.alive = true;
+        w.shard.reset();
+        w.steal_pending = false;
+        write_frame(w.to_fd, MsgType::Init,
+                    encode_init(options.worker_threads, job_json));
+    }
+
+    [[nodiscard]] int alive_workers() const {
+        int n = 0;
+        for (const WorkerProc& w : workers) n += w.alive ? 1 : 0;
+        return n;
+    }
+
+    void update_gauges() {
+        if (obs.rec == nullptr) return;
+        obs.rec->metrics().set(obs.backlog,
+                               static_cast<double>(accumulator->segment_count()));
+        obs.rec->metrics().set(obs.workers, static_cast<double>(alive_workers()));
+    }
+
+    // --- dispatch ----------------------------------------------------------
+
+    void assign_next(WorkerProc& w) {
+        Range& range = pending.front();
+        const std::uint64_t count = std::min(options.shard, range.count());
+        const ShardState shard{next_shard_id++, range.first, range.first,
+                               range.first + count};
+        range.first += count;
+        if (range.count() == 0) pending.pop_front();
+        write_frame(w.to_fd, MsgType::Assign,
+                    std::to_string(shard.id) + ' ' + std::to_string(shard.first) +
+                        ' ' + std::to_string(count) + ' ' +
+                        std::to_string(options.batch));
+        w.shard = shard;
+        ++result.shards_dispatched;
+        if (obs.rec != nullptr) obs.rec->metrics().add(obs.dispatched);
+    }
+
+    /// Picks the busiest worker and asks it to give back the upper half of
+    /// its uncommitted remainder.
+    void try_steal() {
+        WorkerProc* victim = nullptr;
+        std::uint64_t best_remaining = 0;
+        for (WorkerProc& w : workers) {
+            if (!w.alive || !w.shard.has_value() || w.steal_pending) continue;
+            const std::uint64_t remaining = w.shard->end - w.shard->next;
+            if (remaining > best_remaining) {
+                best_remaining = remaining;
+                victim = &w;
+            }
+        }
+        if (victim == nullptr || best_remaining < options.steal_min) return;
+        const std::uint64_t mid = victim->shard->next + best_remaining / 2;
+        victim->steal_pending = true;
+        victim->steal_old_end = victim->shard->end;
+        try {
+            write_frame(victim->to_fd, MsgType::Truncate,
+                        std::to_string(victim->shard->id) + ' ' +
+                            std::to_string(mid));
+        } catch (const WireError&) {
+            on_worker_death(*victim, "write failed");
+        }
+    }
+
+    void dispatch() {
+        for (WorkerProc& w : workers) {
+            if (!w.alive || w.shard.has_value()) continue;
+            if (pending.empty()) break;
+            try {
+                assign_next(w);
+            } catch (const WireError&) {
+                on_worker_death(w, "write failed");
+            }
+        }
+        if (!stopping && pending.empty()) {
+            for (const WorkerProc& w : workers)
+                if (w.alive && !w.shard.has_value()) {
+                    try_steal();
+                    break;
+                }
+        }
+    }
+
+    // --- frame handling ----------------------------------------------------
+
+    void commit_batch(WorkerProc& w, const BatchPayload& batch) {
+        if (batch.lines.empty())
+            throw CoordinatorError("empty batch frame");
+        if (!w.shard.has_value() || w.shard->id != batch.shard)
+            throw CoordinatorError("batch for shard " +
+                                   std::to_string(batch.shard) +
+                                   " from a worker not assigned to it");
+        ShardState& shard = *w.shard;
+        if (batch.first != shard.next ||
+            batch.first + batch.lines.size() > shard.end)
+            throw CoordinatorError(
+                "batch [" + std::to_string(batch.first) + ", " +
+                std::to_string(batch.first + batch.lines.size()) +
+                ") does not continue shard " + std::to_string(shard.id));
+        accumulator->add_encoded(batch.first, batch.lines);
+        if (checkpoint.has_value()) {
+            checkpoint->append(batch.first, batch.lines);
+            ++result.checkpoint_records;
+            if (obs.rec != nullptr) obs.rec->metrics().add(obs.checkpoints);
+        }
+        shard.next = batch.first + batch.lines.size();
+        ++commits;
+        if (obs.rec != nullptr)
+            obs.rec->metrics().add(obs.committed,
+                                   static_cast<double>(batch.lines.size()));
+        fire_commit_hooks();
+    }
+
+    void fire_commit_hooks() {
+        if (options.stop_after_commits > 0 &&
+            commits >= options.stop_after_commits)
+            stopping = true;
+        if (options.kill_worker >= 0 &&
+            options.kill_worker < static_cast<int>(workers.size()) &&
+            commits >= options.kill_after_commits) {
+            WorkerProc& target =
+                workers[static_cast<std::size_t>(options.kill_worker)];
+            if (target.alive && target.killed_sent == 0) {
+                target.killed_sent = 1;
+                ::kill(target.pid, SIGKILL);
+            }
+        }
+    }
+
+    void handle_frame(WorkerProc& w, const Frame& frame) {
+        switch (frame.type) {
+            case MsgType::Batch:
+                commit_batch(w, parse_batch(frame.payload));
+                return;
+            case MsgType::ShardDone: {
+                const auto f = parse_fields(frame.payload, 2);
+                if (!w.shard.has_value() || w.shard->id != f[0])
+                    throw CoordinatorError("ShardDone for unassigned shard " +
+                                           std::to_string(f[0]));
+                if (w.shard->next != f[1] || f[1] > w.shard->end)
+                    throw CoordinatorError(
+                        "ShardDone at " + std::to_string(f[1]) +
+                        " but commits reached " + std::to_string(w.shard->next));
+                w.shard.reset();
+                return;
+            }
+            case MsgType::TruncateAck: {
+                const auto f = parse_fields(frame.payload, 2);
+                if (!w.steal_pending)
+                    throw CoordinatorError("unsolicited TruncateAck");
+                w.steal_pending = false;
+                const std::uint64_t effective = f[1];
+                if (effective == kNothingStolen) return;  // shard had finished
+                if (w.shard.has_value() && w.shard->id == f[0])
+                    w.shard->end = std::min(w.shard->end, effective);
+                if (effective < w.steal_old_end) {
+                    pending.push_back(Range{effective, w.steal_old_end});
+                    ++result.shards_stolen;
+                    if (obs.rec != nullptr) obs.rec->metrics().add(obs.stolen);
+                }
+                return;
+            }
+            case MsgType::WorkerError:
+                throw CoordinatorError("worker reported: " + frame.payload);
+            default:
+                throw CoordinatorError(std::string("unexpected ") +
+                                       msg_type_name(frame.type) +
+                                       " frame from worker");
+        }
+    }
+
+    // --- failure handling --------------------------------------------------
+
+    void on_worker_death(WorkerProc& w, const char* why) {
+        if (!w.alive) return;
+        // Whatever complete frames are already buffered commit normally; a
+        // truncated trailing frame is the expected shape of a crash and is
+        // simply dropped with the reader.
+        drain_reader(w);
+        w.alive = false;
+        w.close_fds();
+        if (w.pid > 0) {
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+        }
+        w.steal_pending = false;
+        // EOF after Shutdown with nothing assigned is the orderly exit, not
+        // a death.
+        if (draining && !w.shard.has_value()) return;
+        if (w.shard.has_value()) {
+            if (w.shard->next < w.shard->end) {
+                pending.push_front(Range{w.shard->next, w.shard->end});
+                ++result.shards_reassigned;
+                if (obs.rec != nullptr) obs.rec->metrics().add(obs.reassigned);
+            }
+            w.shard.reset();
+        }
+        log_warning("svc: worker died (", why, "); remainder requeued");
+        if (!stopping && !draining && options.restart_dead_workers &&
+            result.worker_restarts <
+                static_cast<std::uint64_t>(options.max_worker_restarts)) {
+            spawn_worker(w);
+            ++result.worker_restarts;
+            if (obs.rec != nullptr) obs.rec->metrics().add(obs.restarts);
+        }
+    }
+
+    /// Extracts and handles every complete frame currently buffered.
+    void drain_reader(WorkerProc& w) {
+        while (true) {
+            std::optional<Frame> frame;
+            try {
+                frame = w.reader.next();
+            } catch (const WireError& e) {
+                // Corrupt prefix: everything after it is untrustworthy.
+                log_warning("svc: dropping worker stream: ", e.what());
+                return;
+            }
+            if (!frame.has_value()) return;
+            handle_frame(w, *frame);
+        }
+    }
+
+    void read_worker(WorkerProc& w) {
+        char buf[64 * 1024];
+        const ssize_t r = ::read(w.from_fd, buf, sizeof buf);
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN) return;
+            on_worker_death(w, "read failed");
+            return;
+        }
+        if (r == 0) {
+            on_worker_death(w, "pipe closed");
+            return;
+        }
+        w.reader.feed(buf, static_cast<std::size_t>(r));
+        drain_reader(w);
+    }
+
+    // --- shutdown ----------------------------------------------------------
+
+    void broadcast_shutdown() {
+        draining = true;
+        for (WorkerProc& w : workers) {
+            if (!w.alive) continue;
+            try {
+                write_frame(w.to_fd, MsgType::Shutdown, "");
+            } catch (const WireError&) {
+                on_worker_death(w, "write failed");
+            }
+        }
+    }
+
+    /// After Shutdown: keep reading until every worker closes its pipe, so
+    /// in-flight batches land in the journal before the final report.
+    void drain_until_exit() {
+        while (alive_workers() > 0) {
+            std::vector<pollfd> fds;
+            for (const WorkerProc& w : workers)
+                if (w.alive) fds.push_back({w.from_fd, POLLIN, 0});
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()), 5000);
+            if (rc < 0 && errno != EINTR)
+                throw CoordinatorError(std::string("poll: ") +
+                                       std::strerror(errno));
+            std::size_t cursor = 0;
+            for (WorkerProc& w : workers) {
+                if (!w.alive) continue;
+                const pollfd& p = fds[cursor++];
+                if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                    read_worker(w);
+            }
+            if (rc == 0) {
+                // A worker neither producing nor exiting after Shutdown is
+                // wedged; don't hang the final report on it.
+                for (WorkerProc& w : workers)
+                    if (w.alive) {
+                        ::kill(w.pid, SIGKILL);
+                        on_worker_death(w, "shutdown timeout");
+                    }
+            }
+        }
+    }
+
+    // --- main loop ---------------------------------------------------------
+
+    void serve_http() {
+        if (options.http == nullptr || !options.http->listening()) return;
+        options.http->serve_ready([this](const std::string& path,
+                                         std::string& body) {
+            if (path == "/metrics") {
+                body = options.recorder != nullptr
+                           ? options.recorder->metrics().render_prometheus()
+                           : "";
+                return true;
+            }
+            if (path == "/healthz") {
+                body = "ok " + std::to_string(accumulator->committed()) + "/" +
+                       std::to_string(grid) + "\n";
+                return true;
+            }
+            return false;
+        });
+    }
+
+    void event_loop() {
+        while (true) {
+            if (options.stop != nullptr &&
+                options.stop->load(std::memory_order_relaxed))
+                stopping = true;
+            if (accumulator->complete()) break;
+            if (stopping) break;
+            dispatch();
+            update_gauges();
+
+            // All work parked but nobody to run it: unrecoverable.
+            bool in_flight = false;
+            for (const WorkerProc& w : workers)
+                in_flight = in_flight || (w.alive && w.shard.has_value());
+            if (!in_flight && alive_workers() == 0) {
+                result.error = "all workers dead and restarts exhausted";
+                return;
+            }
+
+            std::vector<pollfd> fds;
+            std::vector<WorkerProc*> owners;
+            for (WorkerProc& w : workers)
+                if (w.alive) {
+                    fds.push_back({w.from_fd, POLLIN, 0});
+                    owners.push_back(&w);
+                }
+            if (options.http != nullptr && options.http->listening())
+                fds.push_back({options.http->fd(), POLLIN, 0});
+
+            const int rc =
+                ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+            if (rc < 0) {
+                if (errno == EINTR) continue;  // signal: loop re-checks stop
+                throw CoordinatorError(std::string("poll: ") +
+                                       std::strerror(errno));
+            }
+            for (std::size_t i = 0; i < owners.size(); ++i)
+                if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                    read_worker(*owners[i]);
+            if (options.http != nullptr && fds.size() > owners.size() &&
+                (fds.back().revents & POLLIN) != 0)
+                serve_http();
+        }
+    }
+
+    CoordinatorResult run() {
+        REFPGA_EXPECTS(!ran);
+        ran = true;
+        // A worker can die between our liveness check and a write; the
+        // resulting EPIPE must surface as WireError, not kill the process.
+        ::signal(SIGPIPE, SIG_IGN);
+
+        open_journal();
+        seed_pending();
+        workers.resize(static_cast<std::size_t>(options.workers));
+        for (WorkerProc& w : workers) spawn_worker(w);
+        update_gauges();
+
+        if (!accumulator->complete() && result.error.empty()) event_loop();
+
+        broadcast_shutdown();
+        drain_until_exit();
+        update_gauges();
+
+        result.completed = accumulator->complete();
+        result.scenarios_committed = accumulator->committed();
+        result.failures = accumulator->failure_count();
+        result.max_retained_rows = accumulator->max_retained_rows();
+        if (!result.completed && result.error.empty())
+            result.error = stopping ? "stopped before completion"
+                                    : "incomplete sweep";
+        return result;
+    }
+};
+
+Coordinator::Coordinator(JobSpec spec, CoordinatorOptions options)
+    : impl_(std::make_unique<Impl>(std::move(spec), std::move(options))) {}
+
+Coordinator::~Coordinator() = default;
+
+CoordinatorResult Coordinator::run() { return impl_->run(); }
+
+const fleet::ReportAccumulator& Coordinator::report() const {
+    return *impl_->accumulator;
+}
+
+fleet::ReportAccumulator& Coordinator::report() { return *impl_->accumulator; }
+
+}  // namespace refpga::svc

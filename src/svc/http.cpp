@@ -1,0 +1,116 @@
+#include "refpga/svc/http.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace refpga::svc {
+
+HttpEndpoint::~HttpEndpoint() { close(); }
+
+void HttpEndpoint::listen(std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+        const std::string why = std::strerror(errno);
+        close();
+        throw HttpError("bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+    }
+    if (::listen(fd_, 8) < 0) {
+        const std::string why = std::strerror(errno);
+        close();
+        throw HttpError("listen: " + why);
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        const std::string why = std::strerror(errno);
+        close();
+        throw HttpError("getsockname: " + why);
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+    const char* p = data.data();
+    std::size_t n = data.size();
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return;  // client went away; nothing to do about it
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+std::string response(int status, const char* reason, const std::string& body) {
+    return "HTTP/1.1 " + std::to_string(status) + " " + reason +
+           "\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+bool HttpEndpoint::serve_ready(const Handler& handler) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) return false;
+
+    // Read until the blank line that ends the request head (or the client
+    // stops sending). Requests of interest are a few hundred bytes.
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16 * 1024) {
+        const ssize_t r = ::recv(client, buf, sizeof buf, 0);
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) break;
+        request.append(buf, static_cast<std::size_t>(r));
+    }
+
+    std::string reply;
+    const std::size_t method_end = request.find(' ');
+    const std::size_t path_end =
+        method_end == std::string::npos ? std::string::npos
+                                        : request.find(' ', method_end + 1);
+    if (path_end == std::string::npos) {
+        reply = response(400, "Bad Request", "malformed request line\n");
+    } else if (request.substr(0, method_end) != "GET") {
+        reply = response(405, "Method Not Allowed", "GET only\n");
+    } else {
+        const std::string path =
+            request.substr(method_end + 1, path_end - method_end - 1);
+        std::string body;
+        if (handler(path, body))
+            reply = response(200, "OK", body);
+        else
+            reply = response(404, "Not Found", "no such resource\n");
+    }
+    send_all(client, reply);
+    ::close(client);
+    return true;
+}
+
+void HttpEndpoint::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        port_ = 0;
+    }
+}
+
+}  // namespace refpga::svc

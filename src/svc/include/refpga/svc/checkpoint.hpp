@@ -1,0 +1,96 @@
+// Checkpoint journal for campaign runs: crash-safe record of committed
+// scenario ranges so a killed run resumes without recomputing.
+//
+// Plain-text, append-only format:
+//
+//   refpga-svc-checkpoint v1 codec <codec> fingerprint <hex16> scenarios <N>
+//   b <first> <count>
+//   <count outcome_codec lines>
+//   e <first>
+//   ... more records ...
+//
+// Each committed batch is bracketed by a `b` header and an `e` trailer that
+// repeats the batch's first index; a record missing its trailer (the
+// process died mid-append) is an *expected* torn tail and is dropped by
+// load(). Every other malformation — wrong magic, fingerprint mismatch,
+// codec mismatch, count/trailer disagreement, undecodable outcome line,
+// overlapping ranges — throws CheckpointError naming the line: a corrupt
+// journal must fail loudly, not silently resume a wrong campaign.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "refpga/fleet/campaign.hpp"
+
+namespace refpga::svc {
+
+class CheckpointError : public std::runtime_error {
+public:
+    explicit CheckpointError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/// Append-side writer. Batches are flushed to the OS after each append; a
+/// torn final record is recoverable, a reordered one is not possible.
+class CheckpointWriter {
+public:
+    /// Creates/truncates `path` and writes the header. Throws on I/O error.
+    CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
+                     std::size_t scenario_count);
+
+    /// Opens `path` for append after a successful load() (resume). The
+    /// header is validated against the given job identity.
+    static CheckpointWriter resume(const std::string& path,
+                                   std::uint64_t fingerprint,
+                                   std::size_t scenario_count);
+
+    CheckpointWriter(CheckpointWriter&& other) noexcept;
+    CheckpointWriter& operator=(CheckpointWriter&& other) noexcept;
+
+    /// Appends one committed batch (encoded outcome lines starting at
+    /// scenario index `first`). Throws CheckpointError on I/O failure.
+    void append(std::uint64_t first, const std::vector<std::string>& lines);
+
+    [[nodiscard]] std::size_t records_written() const { return records_; }
+
+private:
+    struct Tag {};
+    CheckpointWriter(Tag, const std::string& path);
+
+    std::string path_;
+    int fd_ = -1;
+    std::size_t records_ = 0;
+
+public:
+    ~CheckpointWriter();
+    CheckpointWriter(const CheckpointWriter&) = delete;
+    CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+};
+
+/// One recovered batch: outcome lines for scenario indices
+/// [first, first + lines.size()).
+struct CheckpointBatch {
+    std::uint64_t first = 0;
+    std::vector<std::string> lines;
+};
+
+struct CheckpointContents {
+    std::uint64_t fingerprint = 0;
+    std::size_t scenario_count = 0;
+    std::vector<CheckpointBatch> batches;
+    /// True when the file ended inside a record (torn tail was dropped).
+    bool torn_tail = false;
+};
+
+/// Loads and validates a journal. `expected_fingerprint`/`expected_count`
+/// of 0 skip that check (used by inspection tools); coordinators always
+/// pass the real values. Throws CheckpointError on any malformation other
+/// than a torn tail.
+[[nodiscard]] CheckpointContents load_checkpoint(const std::string& path,
+                                                 std::uint64_t expected_fingerprint,
+                                                 std::size_t expected_count);
+
+}  // namespace refpga::svc

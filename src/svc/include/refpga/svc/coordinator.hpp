@@ -1,0 +1,133 @@
+// Campaign coordinator: shards a job's scenario grid across worker
+// processes, merges their streamed outcome batches, and journals progress.
+//
+// One single-threaded poll() event loop owns everything: worker pipes, the
+// optional HTTP observability endpoint, the checkpoint journal and the
+// streaming report accumulator. Workers are pure executors, so every
+// consistency decision — exactly-once commits, work stealing, reassignment
+// after a crash — is made in one place with no locks.
+//
+// Lifecycle of a scenario index range:
+//
+//   pending ──Assign──▶ in-flight ──Batch──▶ committed (spool + journal)
+//      ▲                   │
+//      │   Truncate/Ack    │ worker died: requeue [next, end)
+//      └───────────────────┘
+//
+// Stealing is a two-step handshake (Truncate → TruncateAck) so the
+// coordinator never reassigns an index the victim might still emit; a
+// worker that dies mid-handshake simply has its whole remainder requeued.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "refpga/fleet/report_stream.hpp"
+#include "refpga/obs/obs.hpp"
+#include "refpga/svc/http.hpp"
+#include "refpga/svc/job.hpp"
+
+namespace refpga::svc {
+
+class CoordinatorError : public std::runtime_error {
+public:
+    explicit CoordinatorError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+struct CoordinatorOptions {
+    /// Worker processes to fork (>= 1).
+    int workers = 2;
+    /// Campaign threads inside each worker.
+    int worker_threads = 1;
+    /// Outcomes per Batch frame — the unit of commit, steal granularity and
+    /// the bound on rows the coordinator ever holds in memory.
+    std::uint64_t batch = 8;
+    /// Scenarios per shard (the unit of assignment). 0 = grid/workers,
+    /// clamped to at least one batch.
+    std::uint64_t shard = 0;
+    /// Only steal from a shard with at least this many uncommitted
+    /// scenarios left (0 = 2 * batch).
+    std::uint64_t steal_min = 0;
+
+    /// Checkpoint journal path; empty disables checkpointing.
+    std::string checkpoint_path;
+    /// Resume from an existing journal at checkpoint_path instead of
+    /// truncating it. The journal must match the job fingerprint.
+    bool resume = false;
+    /// Spool file backing the streaming report accumulator (required).
+    std::string spool_path = "campaign.spool";
+
+    /// Refork a worker that dies unexpectedly, up to max_worker_restarts
+    /// per run; its in-flight range is requeued either way.
+    bool restart_dead_workers = true;
+    int max_worker_restarts = 2;
+
+    /// Observability sinks (both optional).
+    obs::Recorder* recorder = nullptr;
+    /// Already-listening HTTP endpoint to serve on the event loop
+    /// (/metrics, /healthz). Not owned.
+    HttpEndpoint* http = nullptr;
+
+    /// Graceful-shutdown flag (typically set by a SIGINT/SIGTERM handler).
+    /// When it reads true the coordinator stops dispatching, drains
+    /// in-flight batches, finalizes the journal and returns with
+    /// completed() == false; uncommitted scenarios stay uncommitted so a
+    /// --resume run picks them up.
+    const std::atomic<bool>* stop = nullptr;
+
+    /// How to launch workers. Fork calls worker_main() in the child
+    /// directly (tests); Exec re-executes exec_path with the worker pipes
+    /// on fds 3 and 4 (campaignd), keeping stray stdio writes out of the
+    /// frame stream.
+    enum class Launch { Fork, Exec };
+    Launch launch = Launch::Fork;
+    /// argv[0] for Launch::Exec; invoked as "<exec_path> --campaign-worker".
+    std::string exec_path;
+
+    // --- deterministic failure-injection hooks (tests/CI only) ------------
+    /// Behave as if `stop` turned true after this many committed batches.
+    std::uint64_t stop_after_commits = 0;  ///< 0 = disabled
+    /// SIGKILL worker `kill_worker` after `kill_after_commits` committed
+    /// batches, exercising the reassignment path.
+    int kill_worker = -1;  ///< -1 = disabled
+    std::uint64_t kill_after_commits = 0;
+};
+
+struct CoordinatorResult {
+    bool completed = false;       ///< full grid committed
+    std::string error;            ///< set when the run ended abnormally
+    std::size_t scenarios_committed = 0;
+    std::size_t scenarios_resumed = 0;  ///< committed via journal replay
+    std::size_t failures = 0;
+    std::uint64_t shards_dispatched = 0;
+    std::uint64_t shards_stolen = 0;
+    std::uint64_t shards_reassigned = 0;  ///< requeued after worker death
+    std::uint64_t worker_restarts = 0;
+    std::uint64_t checkpoint_records = 0;
+    std::size_t max_retained_rows = 0;  ///< memory bound: peak decoded rows
+};
+
+class Coordinator {
+public:
+    Coordinator(JobSpec spec, CoordinatorOptions options);
+    ~Coordinator();
+    Coordinator(const Coordinator&) = delete;
+    Coordinator& operator=(const Coordinator&) = delete;
+
+    /// Runs the campaign to completion (or graceful stop / unrecoverable
+    /// failure). May be called once per Coordinator.
+    CoordinatorResult run();
+
+    /// Streaming report over everything committed so far; valid after run().
+    [[nodiscard]] const fleet::ReportAccumulator& report() const;
+    [[nodiscard]] fleet::ReportAccumulator& report();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace refpga::svc

@@ -1,0 +1,55 @@
+// Minimal HTTP/1.1 endpoint for exposing coordinator observability.
+//
+// Just enough protocol for a Prometheus scrape or `curl`: a listening TCP
+// socket on 127.0.0.1, one request per connection ("Connection: close"),
+// GET only. The coordinator polls the listening fd alongside its worker
+// pipes and calls serve_ready() when it turns readable, so no thread is
+// spent on HTTP and the scrape handler runs on the event loop with
+// consistent metric values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace refpga::svc {
+
+class HttpError : public std::runtime_error {
+public:
+    explicit HttpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class HttpEndpoint {
+public:
+    /// Resolves a request path to a body, or returns false for 404.
+    using Handler = std::function<bool(const std::string& path, std::string& body)>;
+
+    HttpEndpoint() = default;
+    ~HttpEndpoint();
+    HttpEndpoint(const HttpEndpoint&) = delete;
+    HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+    /// Binds 127.0.0.1:`port` (port 0 = kernel-assigned) and listens.
+    /// Throws HttpError on failure.
+    void listen(std::uint16_t port);
+
+    [[nodiscard]] bool listening() const { return fd_ >= 0; }
+    /// Listening fd for the caller's poll set (-1 when not listening).
+    [[nodiscard]] int fd() const { return fd_; }
+    /// Actual bound port (resolves port 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Accepts and serves one pending connection; call when fd() polls
+    /// readable. Returns false if the readiness was spurious. Client I/O
+    /// errors are swallowed (a half-closed scraper must not kill a run).
+    bool serve_ready(const Handler& handler);
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace refpga::svc

@@ -1,0 +1,68 @@
+// Campaign job specification: the JSON document that fully describes a
+// sharded campaign run.
+//
+// A JobSpec is the serializable twin of fleet::SweepBuilder plus the
+// execution knobs a scenario's outcome depends on (cycles, campaign seed,
+// streaming block size). Workers never receive scenario lists over the wire
+// — they receive the JobSpec once (Init frame), expand the same grid
+// locally, and are then assigned index ranges into it. That keeps Assign
+// frames tiny and guarantees every process agrees on scenario -> index.
+//
+// canonical_json() renders doubles as hexfloat strings so the document —
+// and therefore fingerprint(), which checkpoints embed to refuse resuming a
+// journal against a different job — is byte-stable across locales and
+// formatting quirks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "refpga/fleet/scenario.hpp"
+
+namespace refpga::svc {
+
+class JobError : public std::runtime_error {
+public:
+    explicit JobError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Axis-value parsers, inverse of the names the fleet layer renders.
+// Throw JobError on unknown names.
+[[nodiscard]] app::SystemVariant parse_variant(const std::string& name);
+[[nodiscard]] fabric::PartName parse_part(const std::string& id);
+[[nodiscard]] fleet::PortKind parse_port(const std::string& name);
+
+struct JobSpec {
+    std::vector<app::SystemVariant> variants{app::SystemVariant::ReconfiguredHw};
+    std::vector<fabric::PartName> parts{fabric::PartName::XC3S400};
+    std::vector<fleet::PortKind> ports{fleet::PortKind::Jcap};
+    std::vector<double> noise_levels{1e-3};
+    std::vector<double> upset_rates{0.0};
+    fault::FaultSpec fault_defaults;
+    std::vector<fleet::FillProfile> fills{fleet::FillProfile{}};
+    int cycles = 8;
+    std::uint64_t campaign_seed = 2008;
+    int stream_block_ticks = 4096;
+
+    /// Parses a job document; unknown keys and malformed values throw
+    /// JobError with the offending key in the message.
+    [[nodiscard]] static JobSpec from_json(const std::string& text);
+
+    /// Canonical rendering: fixed key order, doubles as hexfloat strings.
+    /// from_json(canonical_json()) round-trips bit-exactly.
+    [[nodiscard]] std::string canonical_json() const;
+
+    /// FNV-1a over canonical_json(); checkpoints embed this so a journal is
+    /// only ever replayed against the job that wrote it.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
+    /// Number of scenarios the grid expands to.
+    [[nodiscard]] std::size_t grid_size() const;
+
+    /// Expands the full scenario grid via fleet::SweepBuilder — identical in
+    /// every process that holds the same spec.
+    [[nodiscard]] std::vector<fleet::Scenario> expand() const;
+};
+
+}  // namespace refpga::svc

@@ -1,0 +1,103 @@
+// Length-prefixed frame protocol between the campaign coordinator and its
+// worker processes.
+//
+// Transport is a pair of pipes per worker. Each frame is:
+//
+//   u32 little-endian payload length | u8 message type | payload bytes
+//
+// Payloads are line-oriented text: control messages carry space-separated
+// decimal fields, and Batch frames carry a "shard first count" header line
+// followed by `count` outcome_codec lines. Text keeps the protocol
+// debuggable (`xxd` on a captured stream reads almost like a log) at
+// negligible cost next to running scenarios.
+//
+// Delivery rules the coordinator relies on:
+//   - write_frame writes the whole frame or throws (partial writes and
+//     EINTR are retried), so a frame observed by the reader is complete;
+//   - a worker killed mid-write leaves a truncated frame that FrameReader
+//     simply never yields — complete frames before it stay valid, which is
+//     what makes committed batches from a dead worker trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace refpga::svc {
+
+class WireError : public std::runtime_error {
+public:
+    explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class MsgType : std::uint8_t {
+    Init = 1,     ///< coordinator→worker: "worker_threads\n" + job JSON
+    Assign,       ///< coordinator→worker: "shard first count batch"
+    Truncate,     ///< coordinator→worker: "shard new_end" (work stealing)
+    Shutdown,     ///< coordinator→worker: empty payload; drain and exit
+    Batch,        ///< worker→coordinator: "shard first count\n" + outcome lines
+    ShardDone,    ///< worker→coordinator: "shard end"
+    TruncateAck,  ///< worker→coordinator: "shard effective_end"
+    WorkerError,  ///< worker→coordinator: fatal error text
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType type);
+
+struct Frame {
+    MsgType type = MsgType::Init;
+    std::string payload;
+};
+
+/// Frames larger than this are a protocol violation (a batch of outcomes is
+/// a few hundred KB at most; megabytes means a corrupt length prefix).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Blocking write of one complete frame; throws WireError on any failure
+/// (including EPIPE — callers treat that as worker death).
+void write_frame(int fd, MsgType type, std::string_view payload);
+
+/// Blocking read of one frame. Returns false on clean EOF at a frame
+/// boundary; throws WireError on EOF mid-frame or a corrupt prefix.
+[[nodiscard]] bool read_frame(int fd, Frame& out);
+
+/// Incremental decoder for the coordinator's poll loop: feed() whatever
+/// bytes arrived, then drain next() until it returns nullopt. Bytes of an
+/// incomplete trailing frame are retained across feeds.
+class FrameReader {
+public:
+    void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+    /// Next complete frame, if any. Throws WireError on a corrupt prefix.
+    [[nodiscard]] std::optional<Frame> next();
+
+    /// True when buffered bytes form only part of a frame (diagnostic for
+    /// worker-death handling: a truncated final frame is expected there).
+    [[nodiscard]] bool mid_frame() const { return !buffer_.empty(); }
+
+private:
+    std::string buffer_;
+};
+
+// --- payload helpers --------------------------------------------------------
+
+/// Splits a control payload of exactly `n` space-separated u64 fields;
+/// throws WireError otherwise.
+[[nodiscard]] std::vector<std::uint64_t> parse_fields(std::string_view payload,
+                                                      std::size_t n);
+
+/// Batch payload: header "shard first count" then `count` outcome lines.
+struct BatchPayload {
+    std::uint64_t shard = 0;
+    std::uint64_t first = 0;
+    std::vector<std::string> lines;
+};
+
+[[nodiscard]] std::string encode_batch(std::uint64_t shard, std::uint64_t first,
+                                       const std::vector<std::string>& lines);
+[[nodiscard]] BatchPayload parse_batch(std::string_view payload);
+
+}  // namespace refpga::svc

@@ -1,0 +1,36 @@
+// Campaign worker: the child-process half of the sharded campaign service.
+//
+// A worker speaks the svc wire protocol over two pipe fds. It receives the
+// job spec once (Init), expands the identical scenario grid the coordinator
+// holds, and then executes assigned index ranges, streaming outcome batches
+// back as they complete. Between batches it drains pending control frames,
+// which is what makes work stealing race-free: a Truncate can only ever
+// observe the worker at a batch boundary, so the acked effective end is
+// exact — every index below it has been (or is about to be) emitted, every
+// index at or above it never started.
+//
+// Workers are execution only: no checkpointing, no aggregation, no
+// observability registry. All of that lives in the coordinator, which is
+// the single writer of every output artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace refpga::svc {
+
+/// TruncateAck payload value meaning "that shard was already finished here;
+/// nothing was stolen".
+inline constexpr std::uint64_t kNothingStolen = ~std::uint64_t{0};
+
+/// Init frame payload: "<worker_threads>\n" followed by the job JSON.
+[[nodiscard]] std::string encode_init(int worker_threads,
+                                      const std::string& job_json);
+
+/// Runs the worker protocol loop until Shutdown or EOF on `in_fd`.
+/// Returns the process exit code (0 on orderly shutdown, 1 after a fatal
+/// error, which is also reported upstream via a WorkerError frame).
+/// Never throws — a worker that cannot even report its error just exits.
+[[nodiscard]] int worker_main(int in_fd, int out_fd);
+
+}  // namespace refpga::svc

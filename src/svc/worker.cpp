@@ -1,0 +1,167 @@
+#include "refpga/svc/worker.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include <poll.h>
+
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
+#include "refpga/svc/job.hpp"
+#include "refpga/svc/wire.hpp"
+
+namespace refpga::svc {
+
+std::string encode_init(int worker_threads, const std::string& job_json) {
+    return std::to_string(worker_threads) + '\n' + job_json;
+}
+
+namespace {
+
+struct Shard {
+    std::uint64_t id = 0;
+    std::uint64_t next = 0;   ///< first index not yet started
+    std::uint64_t end = 0;    ///< exclusive
+    std::uint64_t batch = 1;  ///< outcomes per Batch frame
+};
+
+/// True when in_fd has bytes ready right now (control frame between
+/// batches); does not block.
+bool readable_now(int fd) {
+    pollfd p{fd, POLLIN, 0};
+    while (true) {
+        const int rc = ::poll(&p, 1, 0);
+        if (rc < 0 && errno == EINTR) continue;
+        return rc > 0 && (p.revents & (POLLIN | POLLHUP)) != 0;
+    }
+}
+
+class Worker {
+public:
+    Worker(int in_fd, int out_fd) : in_fd_(in_fd), out_fd_(out_fd) {}
+
+    int run() {
+        try {
+            loop();
+            return 0;
+        } catch (const std::exception& e) {
+            try {
+                write_frame(out_fd_, MsgType::WorkerError, e.what());
+            } catch (...) {
+                // Pipe to the coordinator is gone; exit code says it all.
+            }
+            return 1;
+        }
+    }
+
+private:
+    void loop() {
+        Frame frame;
+        while (true) {
+            if (!current_.has_value()) {
+                // Idle: block for the next instruction.
+                if (!read_frame(in_fd_, frame)) return;  // coordinator went away
+                if (!handle(frame)) return;
+                continue;
+            }
+            // Busy: drain control frames first so Truncate and Shutdown act
+            // at this batch boundary, then run one batch.
+            while (readable_now(in_fd_)) {
+                if (!read_frame(in_fd_, frame))
+                    throw WireError("coordinator closed the pipe mid-shard");
+                if (!handle(frame)) return;
+                if (!current_.has_value()) break;
+            }
+            if (current_.has_value()) run_batch();
+        }
+    }
+
+    /// Returns false on Shutdown.
+    bool handle(const Frame& frame) {
+        switch (frame.type) {
+            case MsgType::Init: {
+                const std::size_t eol = frame.payload.find('\n');
+                if (eol == std::string::npos)
+                    throw WireError("Init payload missing thread-count line");
+                const auto threads = parse_fields(frame.payload.substr(0, eol), 1);
+                spec_ = JobSpec::from_json(frame.payload.substr(eol + 1));
+                scenarios_ = spec_.expand();
+                options_.threads = static_cast<int>(threads[0]);
+                options_.stream_block_ticks = spec_.stream_block_ticks;
+                return true;
+            }
+            case MsgType::Assign: {
+                const auto f = parse_fields(frame.payload, 4);
+                if (scenarios_.empty())
+                    throw WireError("Assign before Init");
+                if (f[2] == 0 || f[3] == 0 || f[1] + f[2] > scenarios_.size())
+                    throw WireError("Assign range out of bounds");
+                if (current_.has_value())
+                    throw WireError("Assign while a shard is in progress");
+                current_ = Shard{f[0], f[1], f[1] + f[2], f[3]};
+                return true;
+            }
+            case MsgType::Truncate: {
+                const auto f = parse_fields(frame.payload, 2);
+                std::uint64_t effective = kNothingStolen;
+                if (current_.has_value() && current_->id == f[0]) {
+                    // Keep everything already started; give back the rest.
+                    effective = std::max(current_->next, f[1]);
+                    current_->end = std::min(current_->end, effective);
+                    if (current_->next >= current_->end) finish_shard();
+                }
+                write_frame(out_fd_, MsgType::TruncateAck,
+                            std::to_string(f[0]) + ' ' + std::to_string(effective));
+                return true;
+            }
+            case MsgType::Shutdown:
+                return false;
+            default:
+                throw WireError(std::string("unexpected ") +
+                                msg_type_name(frame.type) + " frame in worker");
+        }
+    }
+
+    void run_batch() {
+        Shard& shard = *current_;
+        const std::uint64_t count =
+            std::min<std::uint64_t>(shard.batch, shard.end - shard.next);
+        const std::vector<fleet::Scenario> slice(
+            scenarios_.begin() + static_cast<std::ptrdiff_t>(shard.next),
+            scenarios_.begin() + static_cast<std::ptrdiff_t>(shard.next + count));
+        const fleet::CampaignRunner runner(options_);
+        const fleet::CampaignResult result = runner.run(slice);
+
+        std::vector<std::string> lines;
+        lines.reserve(result.outcomes.size());
+        for (const fleet::ScenarioOutcome& o : result.outcomes)
+            lines.push_back(fleet::encode_outcome_line(o));
+        write_frame(out_fd_, MsgType::Batch,
+                    encode_batch(shard.id, shard.next, lines));
+        shard.next += count;
+        if (shard.next >= shard.end) finish_shard();
+    }
+
+    void finish_shard() {
+        write_frame(out_fd_, MsgType::ShardDone,
+                    std::to_string(current_->id) + ' ' +
+                        std::to_string(current_->end));
+        current_.reset();
+    }
+
+    int in_fd_;
+    int out_fd_;
+    JobSpec spec_;
+    std::vector<fleet::Scenario> scenarios_;
+    fleet::CampaignOptions options_;
+    std::optional<Shard> current_;
+};
+
+}  // namespace
+
+int worker_main(int in_fd, int out_fd) { return Worker(in_fd, out_fd).run(); }
+
+}  // namespace refpga::svc

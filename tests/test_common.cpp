@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "refpga/common/contracts.hpp"
 #include "refpga/common/fixed.hpp"
+#include "refpga/common/interval_set.hpp"
 #include "refpga/common/rng.hpp"
 #include "refpga/common/strong_id.hpp"
 #include "refpga/common/table.hpp"
@@ -168,6 +170,62 @@ TEST(Table, RejectsWrongArity) {
 }
 
 TEST(Table, NumFormatsPrecision) { EXPECT_EQ(Table::num(3.14159, 2), "3.14"); }
+
+TEST(Table, StreamingPrimitivesComposeToRender) {
+    // The static emit helpers are the streaming report path's building
+    // blocks; driving them by hand must reproduce render() exactly.
+    Table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+
+    std::vector<std::size_t> widths = Table::widths_of({"a", "bb"});
+    Table::grow_widths(widths, {"1", "2"});
+    Table::grow_widths(widths, {"333", "4"});
+    std::ostringstream out;
+    Table::emit_rule(out, widths);
+    Table::emit_row(out, widths, {"a", "bb"});
+    Table::emit_rule(out, widths);
+    Table::emit_row(out, widths, {"1", "2"});
+    Table::emit_row(out, widths, {"333", "4"});
+    Table::emit_rule(out, widths);
+    EXPECT_EQ(out.str(), t.render());
+}
+
+// ---------------------------------------------------------------- intervals
+
+TEST(IntervalSet, CoalescesAndTracksCoverage) {
+    IntervalSet set;
+    set.add(4, 2);
+    set.add(0, 2);
+    set.add(2, 2);  // bridges both neighbours
+    ASSERT_EQ(set.intervals().size(), 1u);
+    EXPECT_EQ(set.intervals()[0], (IntervalSet::Interval{0, 6}));
+    EXPECT_EQ(set.count(), 6u);
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(6));
+    EXPECT_TRUE(set.covers_exactly(6));
+    EXPECT_FALSE(set.covers_exactly(7));
+}
+
+TEST(IntervalSet, ReportsMissingGaps) {
+    IntervalSet set;
+    set.add(2, 2);
+    set.add(8, 1);
+    const auto gaps = set.missing(12);
+    ASSERT_EQ(gaps.size(), 3u);
+    EXPECT_EQ(gaps[0], (IntervalSet::Interval{0, 2}));
+    EXPECT_EQ(gaps[1], (IntervalSet::Interval{4, 8}));
+    EXPECT_EQ(gaps[2], (IntervalSet::Interval{9, 12}));
+}
+
+TEST(IntervalSet, RejectsOverlapsAndDegenerateRanges) {
+    IntervalSet set;
+    set.add(0, 4);
+    EXPECT_THROW(set.add(3, 2), ContractViolation);
+    EXPECT_THROW(set.add(0, 0), ContractViolation);
+    EXPECT_FALSE(set.disjoint(2, 1));
+    EXPECT_TRUE(set.disjoint(4, 1));
+}
 
 // ---------------------------------------------------------------- thread pool
 

@@ -1,0 +1,222 @@
+// Merge semantics of the streaming report path: a ReportAccumulator fed
+// outcome batches in any partition and any arrival order must render the
+// byte-identical report to the single-process CampaignReport, and must do
+// so holding only O(batch) decoded rows in memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
+#include "refpga/fleet/report.hpp"
+#include "refpga/fleet/report_stream.hpp"
+#include "refpga/fleet/scenario.hpp"
+
+namespace refpga::fleet {
+namespace {
+
+using app::SystemVariant;
+using fabric::PartName;
+
+std::string temp_spool(const char* tag) {
+    return testing::TempDir() + "refpga_spool_" + tag + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+// Small but multi-axis sweep: two variants, two parts, two ports.
+std::vector<Scenario> plain_sweep() {
+    return SweepBuilder{}
+        .variants({SystemVariant::MonolithicHw, SystemVariant::ReconfiguredHw})
+        .parts({PartName::XC3S200, PartName::XC3S400})
+        .ports({PortKind::Jcap, PortKind::JcapAccelerated})
+        .cycles(2)
+        .campaign_seed(404)
+        .build();
+}
+
+// Fault-heavy sweep so the report carries the fault metric columns.
+std::vector<Scenario> fault_sweep() {
+    fault::FaultSpec defaults;
+    defaults.load_corruption_prob = 0.10;
+    defaults.glitch_prob_per_cycle = 0.10;
+    return SweepBuilder{}
+        .variants({SystemVariant::ReconfiguredHw})
+        .ports({PortKind::Jcap, PortKind::Icap})
+        .upset_rates({0.0, 0.2, 1.0})
+        .fault_defaults(defaults)
+        .cycles(4)
+        .campaign_seed(405)
+        .build();
+}
+
+CampaignResult run_reference(const std::vector<Scenario>& sweep) {
+    return CampaignRunner(CampaignOptions(2)).run(sweep);
+}
+
+/// Splits [0, n) into random contiguous batches and returns them in a
+/// random arrival order.
+std::vector<std::pair<std::size_t, std::size_t>> random_partition(
+    std::size_t n, std::mt19937& rng) {
+    std::vector<std::pair<std::size_t, std::size_t>> parts;
+    std::size_t cursor = 0;
+    while (cursor < n) {
+        std::uniform_int_distribution<std::size_t> len(1, std::min<std::size_t>(
+                                                              4, n - cursor));
+        const std::size_t count = len(rng);
+        parts.emplace_back(cursor, count);
+        cursor += count;
+    }
+    std::shuffle(parts.begin(), parts.end(), rng);
+    return parts;
+}
+
+void expect_identical_renderings(const CampaignResult& result,
+                                 const char* tag,
+                                 const std::string& metrics_json = "") {
+    CampaignReport reference = CampaignReport::from(result);
+    if (!metrics_json.empty()) reference.attach_metrics_json(metrics_json);
+    const std::string want_text = reference.render_text();
+    const std::string want_json = reference.render_json();
+
+    std::mt19937 rng(20080808);
+    for (int round = 0; round < 5; ++round) {
+        ReportAccumulator acc(result.outcomes.size(), temp_spool(tag));
+        if (!metrics_json.empty()) acc.attach_metrics_json(metrics_json);
+        for (const auto& [first, count] :
+             random_partition(result.outcomes.size(), rng)) {
+            const std::vector<ScenarioOutcome> batch(
+                result.outcomes.begin() + static_cast<std::ptrdiff_t>(first),
+                result.outcomes.begin() +
+                    static_cast<std::ptrdiff_t>(first + count));
+            acc.add(first, batch);
+        }
+        ASSERT_TRUE(acc.complete());
+        EXPECT_EQ(acc.render_text(), want_text) << "round " << round;
+        EXPECT_EQ(acc.render_json(), want_json) << "round " << round;
+        EXPECT_LE(acc.max_retained_rows(), 4u);
+    }
+}
+
+TEST(ReportStream, RandomPartitionsRenderIdenticalText) {
+    expect_identical_renderings(run_reference(plain_sweep()), "plain");
+}
+
+TEST(ReportStream, FaultMetricsSurviveStreamingMerge) {
+    expect_identical_renderings(run_reference(fault_sweep()), "fault");
+}
+
+TEST(ReportStream, AttachedObservabilityJsonIsPreserved) {
+    expect_identical_renderings(run_reference(plain_sweep()), "obs",
+                                "{\"metrics\":{\"demo\":1}}");
+}
+
+TEST(ReportStream, EncodedLinesCommitLikeDecodedOutcomes) {
+    const CampaignResult result = run_reference(plain_sweep());
+    const std::string want = CampaignReport::from(result).render_text();
+
+    ReportAccumulator acc(result.outcomes.size(), temp_spool("encoded"));
+    std::vector<std::string> lines;
+    for (const ScenarioOutcome& o : result.outcomes)
+        lines.push_back(encode_outcome_line(o));
+    // Commit back half first to exercise out-of-order segment merge.
+    const std::size_t half = lines.size() / 2;
+    acc.add_encoded(half, {lines.begin() + static_cast<std::ptrdiff_t>(half),
+                           lines.end()});
+    acc.add_encoded(0, {lines.begin(),
+                        lines.begin() + static_cast<std::ptrdiff_t>(half)});
+    ASSERT_TRUE(acc.complete());
+    EXPECT_EQ(acc.render_text(), want);
+}
+
+TEST(ReportStream, CodecRoundTripsEveryFieldBitExactly) {
+    const CampaignResult result = run_reference(fault_sweep());
+    for (const ScenarioOutcome& o : result.outcomes) {
+        const ScenarioOutcome back = decode_outcome_line(encode_outcome_line(o));
+        EXPECT_EQ(back.scenario.name, o.scenario.name);
+        EXPECT_EQ(back.scenario.seed, o.scenario.seed);
+        EXPECT_EQ(back.ok, o.ok);
+        // Bit-level equality, not approximate: reports derive percentiles
+        // from these values, so any rounding would break byte-identity.
+        const auto bits = [](double v) {
+            std::uint64_t u = 0;
+            std::memcpy(&u, &v, sizeof u);
+            return u;
+        };
+        EXPECT_EQ(bits(back.level_error_mean), bits(o.level_error_mean));
+        EXPECT_EQ(bits(back.level_error_max), bits(o.level_error_max));
+        EXPECT_EQ(bits(back.dynamic_mw), bits(o.dynamic_mw));
+        EXPECT_EQ(bits(back.availability), bits(o.availability));
+        EXPECT_EQ(bits(back.mttr_ms), bits(o.mttr_ms));
+        EXPECT_EQ(back.upsets_injected, o.upsets_injected);
+        EXPECT_EQ(back.fallback_cycles, o.fallback_cycles);
+        EXPECT_EQ(back.fitted_part, o.fitted_part);
+        EXPECT_EQ(back.device_fits, o.device_fits);
+    }
+}
+
+TEST(ReportStream, CodecRejectsMalformedLines) {
+    const CampaignResult result = run_reference(plain_sweep());
+    const std::string line = encode_outcome_line(result.outcomes[0]);
+    EXPECT_THROW((void)decode_outcome_line(""), CodecError);
+    EXPECT_THROW((void)decode_outcome_line(line.substr(0, line.size() / 2)),
+                 CodecError);
+    EXPECT_THROW((void)decode_outcome_line(line + "x"), CodecError);
+    std::string wrong_key = line;
+    wrong_key.replace(wrong_key.find("\"name\""), 6, "\"nom\" ");
+    EXPECT_THROW((void)decode_outcome_line(wrong_key), CodecError);
+}
+
+TEST(ReportStream, DuplicateCommitIsRejected) {
+    const CampaignResult result = run_reference(plain_sweep());
+    ReportAccumulator acc(result.outcomes.size(), temp_spool("dup"));
+    acc.add(0, {result.outcomes.begin(), result.outcomes.begin() + 2});
+    EXPECT_THROW(acc.add(1, {result.outcomes.begin() + 1,
+                             result.outcomes.begin() + 3}),
+                 ContractViolation);
+}
+
+// The memory bound must hold for sweeps far larger than anything a test can
+// afford to execute, so this one synthesizes outcomes instead of running
+// them: 5000 scenarios committed in 64-row batches never retain more than
+// 64 decoded rows.
+TEST(ReportStream, RetainedRowsStayBoundedOnLargeSweeps) {
+    constexpr std::size_t kScenarios = 5000;
+    constexpr std::size_t kBatch = 64;
+
+    ReportAccumulator acc(kScenarios, temp_spool("large"));
+    std::size_t index = 0;
+    while (index < kScenarios) {
+        const std::size_t count = std::min(kBatch, kScenarios - index);
+        std::vector<ScenarioOutcome> batch(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            ScenarioOutcome& o = batch[i];
+            o.scenario.name = "synthetic-" + std::to_string(index + i);
+            o.scenario.seed = index + i;
+            o.ok = true;
+            o.level_error_mean = 1e-3 * static_cast<double>(index + i);
+            o.availability = 1.0;
+            o.fitted_part = "xc3s400";
+            o.device_fits = true;
+        }
+        acc.add(index, batch);
+        index += count;
+    }
+    ASSERT_TRUE(acc.complete());
+    EXPECT_EQ(acc.committed(), kScenarios);
+    EXPECT_EQ(acc.max_retained_rows(), kBatch);
+    // Rendering streams the spool: it must succeed and cover every row.
+    const std::string text = acc.render_text();
+    EXPECT_NE(text.find("synthetic-0 "), std::string::npos);
+    EXPECT_NE(text.find("synthetic-4999"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace refpga::fleet

@@ -1,0 +1,532 @@
+// refpga::svc — sharded campaign service.
+//
+// Covers the layers bottom-up: frame protocol, JSON parser, job specs,
+// checkpoint journal (including the corrupt/truncated failure paths), the
+// worker protocol driven directly over pipes, and end-to-end coordinator
+// runs that must render byte-identical reports to the single-process
+// CampaignRunner — including after a SIGKILLed worker's shard is reassigned
+// and after a graceful stop plus checkpoint resume.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "refpga/fleet/campaign.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
+#include "refpga/fleet/report.hpp"
+#include "refpga/svc/checkpoint.hpp"
+#include "refpga/svc/coordinator.hpp"
+#include "refpga/svc/http.hpp"
+#include "refpga/svc/job.hpp"
+#include "refpga/svc/json.hpp"
+#include "refpga/svc/wire.hpp"
+#include "refpga/svc/worker.hpp"
+
+namespace refpga::svc {
+namespace {
+
+std::string temp_path(const char* tag) {
+    return testing::TempDir() + "refpga_svc_" + tag + "_" +
+           std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------- wire
+
+TEST(Wire, FrameReaderReassemblesByteDribble) {
+    std::string stream;
+    {
+        // Build a wire image by writing frames into a pipe and draining it.
+        int p[2];
+        ASSERT_EQ(::pipe(p), 0);
+        write_frame(p[1], MsgType::Assign, "1 0 8 2");
+        write_frame(p[1], MsgType::Batch, "1 0 1\n{}\n");
+        write_frame(p[1], MsgType::Shutdown, "");
+        ::close(p[1]);
+        char buf[512];
+        ssize_t r = 0;
+        while ((r = ::read(p[0], buf, sizeof buf)) > 0)
+            stream.append(buf, static_cast<std::size_t>(r));
+        ::close(p[0]);
+    }
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    for (const char byte : stream) {  // worst case: one byte per feed
+        reader.feed(&byte, 1);
+        while (auto frame = reader.next()) frames.push_back(*frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, MsgType::Assign);
+    EXPECT_EQ(frames[0].payload, "1 0 8 2");
+    EXPECT_EQ(frames[1].type, MsgType::Batch);
+    EXPECT_EQ(frames[2].type, MsgType::Shutdown);
+    EXPECT_TRUE(frames[2].payload.empty());
+    EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Wire, CorruptPrefixThrows) {
+    FrameReader reader;
+    const char bogus[] = "\xff\xff\xff\xff\x01";  // 4 GiB payload claim
+    reader.feed(bogus, sizeof bogus - 1);
+    EXPECT_THROW((void)reader.next(), WireError);
+}
+
+TEST(Wire, PayloadHelpersValidateShape) {
+    EXPECT_EQ(parse_fields("3 14 15", 3),
+              (std::vector<std::uint64_t>{3, 14, 15}));
+    EXPECT_THROW((void)parse_fields("3 14", 3), WireError);
+    EXPECT_THROW((void)parse_fields("3 x 15", 3), WireError);
+
+    const std::vector<std::string> lines{"{\"a\":1}", "{\"b\":2}"};
+    const BatchPayload batch = parse_batch(encode_batch(7, 40, lines));
+    EXPECT_EQ(batch.shard, 7u);
+    EXPECT_EQ(batch.first, 40u);
+    EXPECT_EQ(batch.lines, lines);
+    EXPECT_THROW((void)parse_batch("7 40 2\n{\"a\":1}\n"), WireError);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ParsesDocumentsStrictly) {
+    const JsonValue doc = parse_json(
+        " {\"s\": \"a\\nb\", \"n\": -2.5e2, \"l\": [1, true, null]} ");
+    EXPECT_EQ(doc.find("s")->as_string(), "a\nb");
+    EXPECT_EQ(doc.find("n")->as_number(), -250.0);
+    ASSERT_EQ(doc.find("l")->as_array().size(), 3u);
+    EXPECT_TRUE(doc.find("l")->as_array()[1].as_bool());
+    EXPECT_TRUE(doc.find("l")->as_array()[2].is(JsonValue::Kind::Null));
+    EXPECT_EQ(doc.find("missing"), nullptr);
+
+    EXPECT_THROW((void)parse_json("{\"a\":1} trailing"), JsonError);
+    EXPECT_THROW((void)parse_json("{\"a\":1,\"a\":2}"), JsonError);
+    EXPECT_THROW((void)parse_json("{\"a\":}"), JsonError);
+    EXPECT_THROW((void)parse_json("\"unterminated"), JsonError);
+}
+
+// ---------------------------------------------------------------- job
+
+TEST(Job, SpecRoundTripsThroughCanonicalJson) {
+    JobSpec spec;
+    spec.variants = {app::SystemVariant::MonolithicHw,
+                     app::SystemVariant::ReconfiguredHw};
+    spec.parts = {fabric::PartName::XC3S200, fabric::PartName::XC3S1000};
+    spec.ports = {fleet::PortKind::Icap};
+    spec.noise_levels = {1e-3, 5e-3};
+    spec.upset_rates = {0.0, 0.2};
+    spec.fault_defaults.load_corruption_prob = 0.1;
+    spec.fills = {{0.1, 0.9}, {0.9, 0.1}};
+    spec.cycles = 3;
+    spec.campaign_seed = 0xdeadbeefcafef00dULL;
+
+    const JobSpec back = JobSpec::from_json(spec.canonical_json());
+    EXPECT_EQ(back.canonical_json(), spec.canonical_json());
+    EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+    EXPECT_EQ(back.campaign_seed, spec.campaign_seed);
+
+    // The expansion must match SweepBuilder's scenario for scenario.
+    const auto a = spec.expand();
+    const auto b = back.expand();
+    ASSERT_EQ(a.size(), spec.grid_size());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+}
+
+TEST(Job, RejectsUnknownAndMalformedFields) {
+    EXPECT_THROW((void)JobSpec::from_json("[1]"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"bogus\":1}"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"variants\":[\"vax\"]}"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"parts\":[\"xc9999\"]}"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"cycles\":0}"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"upset_rates\":[-1]}"), JobError);
+    EXPECT_THROW((void)JobSpec::from_json("{\"cycles\":2.5}"), JobError);
+}
+
+TEST(Job, FingerprintSeparatesDifferentJobs) {
+    JobSpec a;
+    JobSpec b;
+    b.campaign_seed = a.campaign_seed + 1;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    JobSpec c;
+    c.noise_levels = {1e-3 + 1e-12};
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+// ---------------------------------------------------------------- checkpoint
+
+std::vector<std::string> sample_lines(std::size_t first, std::size_t count) {
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < count; ++i) {
+        fleet::ScenarioOutcome o;
+        o.scenario.name = "s" + std::to_string(first + i);
+        o.scenario.seed = first + i;
+        o.ok = true;
+        lines.push_back(fleet::encode_outcome_line(o));
+    }
+    return lines;
+}
+
+TEST(Checkpoint, WritesAndReloadsBatches) {
+    const std::string path = temp_path("ckpt_ok");
+    {
+        CheckpointWriter writer(path, 0x1234, 10);
+        writer.append(0, sample_lines(0, 3));
+        writer.append(6, sample_lines(6, 4));
+        EXPECT_EQ(writer.records_written(), 2u);
+    }
+    const CheckpointContents contents = load_checkpoint(path, 0x1234, 10);
+    EXPECT_FALSE(contents.torn_tail);
+    ASSERT_EQ(contents.batches.size(), 2u);
+    EXPECT_EQ(contents.batches[0].first, 0u);
+    EXPECT_EQ(contents.batches[0].lines.size(), 3u);
+    EXPECT_EQ(contents.batches[1].first, 6u);
+
+    // Resume appends more records to the same journal.
+    {
+        CheckpointWriter writer = CheckpointWriter::resume(path, 0x1234, 10);
+        writer.append(3, sample_lines(3, 3));
+    }
+    EXPECT_EQ(load_checkpoint(path, 0x1234, 10).batches.size(), 3u);
+}
+
+TEST(Checkpoint, TornTailIsDroppedNotFatal) {
+    const std::string path = temp_path("ckpt_torn");
+    {
+        CheckpointWriter writer(path, 0x1234, 10);
+        writer.append(0, sample_lines(0, 3));
+        writer.append(3, sample_lines(3, 3));
+    }
+    // Chop the file mid-way through the second record, as a crash would.
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream all;
+    all << in.rdbuf();
+    in.close();
+    const std::string full = all.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() - 30);
+    out.close();
+
+    const CheckpointContents contents = load_checkpoint(path, 0x1234, 10);
+    EXPECT_TRUE(contents.torn_tail);
+    ASSERT_EQ(contents.batches.size(), 1u);
+    EXPECT_EQ(contents.batches[0].first, 0u);
+}
+
+TEST(Checkpoint, CorruptJournalsFailLoudly) {
+    const std::string path = temp_path("ckpt_bad");
+    const auto rewrite = [&](const std::string& content) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << content;
+    };
+
+    rewrite("");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    rewrite("not-a-checkpoint v1 codec 1 fingerprint 0000000000001234 scenarios 10\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    rewrite("refpga-svc-checkpoint v9 codec 1 fingerprint 0000000000001234 scenarios 10\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    const std::string header =
+        "refpga-svc-checkpoint v1 codec 1 fingerprint 0000000000001234 scenarios 10\n";
+    // Mid-file garbage where a batch header belongs (at EOF it would be an
+    // ambiguous crash tear and load would drop it instead).
+    rewrite(header + "x 0 1\nmore garbage\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    rewrite(header + "b 0 1\ngarbage that is not an outcome line\ne 0\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    // A wrong trailer mid-file is corruption (at EOF it would be an
+    // ambiguous tear, which load treats as a dropped tail instead).
+    const std::string line = sample_lines(0, 1)[0];
+    const std::string line2 = sample_lines(5, 1)[0];
+    rewrite(header + "b 0 1\n" + line + "\ne 5\nb 5 1\n" + line2 + "\ne 5\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError);
+
+    rewrite(header + "b 0 1\n" + line + "\ne 0\nb 0 1\n" + line + "\ne 0\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 0), CheckpointError)
+        << "overlapping records must be rejected";
+
+    rewrite(header + "b 9 2\n" + line + "\n" + line + "\ne 9\n");
+    EXPECT_THROW((void)load_checkpoint(path, 0, 10), CheckpointError)
+        << "records beyond the scenario count must be rejected";
+
+    // Identity checks: wrong fingerprint or grid size refuse to resume.
+    rewrite(header);
+    EXPECT_THROW((void)load_checkpoint(path, 0x9999, 10), CheckpointError);
+    EXPECT_THROW((void)load_checkpoint(path, 0x1234, 11), CheckpointError);
+    EXPECT_NO_THROW((void)load_checkpoint(path, 0x1234, 10));
+}
+
+// ---------------------------------------------------------------- worker
+
+struct WorkerHandle {
+    pid_t pid = -1;
+    int to = -1;    ///< write instructions here
+    int from = -1;  ///< read worker frames here
+
+    ~WorkerHandle() {
+        if (to >= 0) ::close(to);
+        if (from >= 0) ::close(from);
+        if (pid > 0) {
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+        }
+    }
+};
+
+void spawn_worker(WorkerHandle& w) {
+    int to_pipe[2];
+    int from_pipe[2];
+    ASSERT_EQ(::pipe(to_pipe), 0);
+    ASSERT_EQ(::pipe(from_pipe), 0);
+    w.pid = ::fork();
+    ASSERT_GE(w.pid, 0);
+    if (w.pid == 0) {
+        ::close(to_pipe[1]);
+        ::close(from_pipe[0]);
+        _exit(worker_main(to_pipe[0], from_pipe[1]));
+    }
+    ::close(to_pipe[0]);
+    ::close(from_pipe[1]);
+    w.to = to_pipe[1];
+    w.from = from_pipe[0];
+}
+
+JobSpec small_spec() {
+    JobSpec spec;
+    spec.variants = {app::SystemVariant::MonolithicHw,
+                     app::SystemVariant::ReconfiguredHw};
+    spec.parts = {fabric::PartName::XC3S200, fabric::PartName::XC3S400};
+    spec.ports = {fleet::PortKind::Jcap, fleet::PortKind::JcapAccelerated};
+    spec.cycles = 2;
+    spec.campaign_seed = 909;
+    return spec;  // 8 scenarios
+}
+
+TEST(Worker, TruncateHandshakeIsExactAtBatchBoundary) {
+    WorkerHandle w;
+    spawn_worker(w);
+    const JobSpec spec = small_spec();
+    write_frame(w.to, MsgType::Init, encode_init(1, spec.canonical_json()));
+    // Assign all 8 scenarios as shard 0 with batch size 2, then immediately
+    // steal everything past index 4. The worker drains control frames
+    // before each batch, so it sees the Truncate before running anything
+    // and must settle on effective end 4 exactly.
+    write_frame(w.to, MsgType::Assign, "0 0 8 2");
+    write_frame(w.to, MsgType::Truncate, "0 4");
+
+    bool done = false;
+    std::uint64_t acked_end = 0;
+    std::uint64_t done_end = 0;
+    std::size_t outcomes = 0;
+    Frame frame;
+    while (!done || acked_end == 0) {
+        ASSERT_TRUE(read_frame(w.from, frame)) << "worker hung up early";
+        switch (frame.type) {
+            case MsgType::Batch: {
+                const BatchPayload batch = parse_batch(frame.payload);
+                EXPECT_EQ(batch.first, outcomes);
+                outcomes += batch.lines.size();
+                break;
+            }
+            case MsgType::ShardDone:
+                done = true;
+                done_end = parse_fields(frame.payload, 2)[1];
+                break;
+            case MsgType::TruncateAck:
+                acked_end = parse_fields(frame.payload, 2)[1];
+                break;
+            default:
+                FAIL() << "unexpected " << msg_type_name(frame.type);
+        }
+    }
+    EXPECT_EQ(acked_end, 4u);
+    EXPECT_EQ(done_end, 4u);
+    EXPECT_EQ(outcomes, 4u) << "no outcome past the truncated end may arrive";
+    write_frame(w.to, MsgType::Shutdown, "");
+}
+
+TEST(Worker, AcksNothingStolenForUnknownShard) {
+    WorkerHandle w;
+    spawn_worker(w);
+    write_frame(w.to, MsgType::Init,
+                encode_init(1, small_spec().canonical_json()));
+    write_frame(w.to, MsgType::Truncate, "42 0");
+    Frame frame;
+    ASSERT_TRUE(read_frame(w.from, frame));
+    ASSERT_EQ(frame.type, MsgType::TruncateAck);
+    EXPECT_EQ(parse_fields(frame.payload, 2)[1], kNothingStolen);
+    write_frame(w.to, MsgType::Shutdown, "");
+}
+
+// ---------------------------------------------------------------- http
+
+TEST(Http, ServesHandlerBodiesOverTcp) {
+    HttpEndpoint http;
+    http.listen(0);
+    ASSERT_TRUE(http.listening());
+    const std::uint16_t port = http.port();
+    ASSERT_NE(port, 0);
+
+    std::thread client([port] {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof addr),
+                  0);
+        const std::string req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+                  static_cast<ssize_t>(req.size()));
+        std::string reply;
+        char buf[1024];
+        ssize_t r = 0;
+        while ((r = ::recv(fd, buf, sizeof buf, 0)) > 0)
+            reply.append(buf, static_cast<std::size_t>(r));
+        ::close(fd);
+        EXPECT_NE(reply.find("200 OK"), std::string::npos);
+        EXPECT_NE(reply.find("svc_demo_total 7"), std::string::npos);
+    });
+
+    ASSERT_TRUE(http.serve_ready([](const std::string& path, std::string& body) {
+        EXPECT_EQ(path, "/metrics");
+        body = "svc_demo_total 7\n";
+        return true;
+    }));
+    client.join();
+}
+
+// ---------------------------------------------------------------- e2e
+
+std::pair<std::string, std::string> reference_renderings(const JobSpec& spec) {
+    fleet::CampaignOptions options(2);
+    options.stream_block_ticks = spec.stream_block_ticks;
+    const fleet::CampaignResult result =
+        fleet::CampaignRunner(options).run(spec.expand());
+    const fleet::CampaignReport report = fleet::CampaignReport::from(result);
+    return {report.render_text(), report.render_json()};
+}
+
+JobSpec fault_spec() {
+    JobSpec spec;
+    spec.variants = {app::SystemVariant::ReconfiguredHw};
+    spec.ports = {fleet::PortKind::Jcap, fleet::PortKind::Icap};
+    spec.upset_rates = {0.0, 0.2, 1.0};
+    spec.fault_defaults.load_corruption_prob = 0.10;
+    spec.cycles = 4;
+    spec.campaign_seed = 910;
+    return spec;  // 6 scenarios
+}
+
+TEST(Coordinator, MatchesSingleProcessReportByteForByte) {
+    for (const JobSpec& spec : {small_spec(), fault_spec()}) {
+        const auto [want_text, want_json] = reference_renderings(spec);
+
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 2;
+        options.spool_path = temp_path("e2e_spool");
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_EQ(result.scenarios_committed, spec.grid_size());
+        EXPECT_LE(result.max_retained_rows, options.batch);
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
+}
+
+TEST(Coordinator, SurvivesWorkerKillWithIdenticalReport) {
+    JobSpec spec = small_spec();
+    spec.noise_levels = {1e-3, 5e-3};  // 16 scenarios: room for a mid-shard kill
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.spool_path = temp_path("kill_spool");
+    options.kill_worker = 0;
+    options.kill_after_commits = 1;
+    options.max_worker_restarts = 2;
+
+    obs::Recorder recorder;
+    options.recorder = &recorder;
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GE(result.shards_reassigned + result.shards_stolen, 1u)
+        << "the killed worker's remainder must have been redistributed";
+    EXPECT_EQ(coordinator.report().render_text(), want_text);
+    EXPECT_EQ(coordinator.report().render_json(), want_json);
+    EXPECT_GT(recorder.metrics().value("svc.scenarios_committed_total"),
+              0.0);
+}
+
+TEST(Coordinator, StopCheckpointResumeCompletesWithoutRecomputing) {
+    JobSpec spec = small_spec();
+    spec.noise_levels = {1e-3, 5e-3};  // 16 scenarios
+    const auto [want_text, want_json] = reference_renderings(spec);
+    const std::string ckpt = temp_path("resume_ckpt");
+
+    std::size_t committed_first = 0;
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.spool_path = temp_path("resume_spool_a");
+        options.stop_after_commits = 3;
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        EXPECT_FALSE(result.completed);
+        committed_first = result.scenarios_committed;
+        EXPECT_GE(committed_first, 3u);
+        EXPECT_LT(committed_first, spec.grid_size());
+    }
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.resume = true;
+        options.spool_path = temp_path("resume_spool_b");
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_EQ(result.scenarios_resumed, committed_first)
+            << "resume must replay exactly what the first run committed";
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
+
+    // A resume against a different job must refuse the journal.
+    JobSpec other = spec;
+    other.campaign_seed += 1;
+    CoordinatorOptions options;
+    options.checkpoint_path = ckpt;
+    options.resume = true;
+    options.spool_path = temp_path("resume_spool_c");
+    Coordinator coordinator(other, options);
+    EXPECT_THROW((void)coordinator.run(), CheckpointError);
+}
+
+}  // namespace
+}  // namespace refpga::svc
