@@ -57,12 +57,19 @@ CheckpointWriter CheckpointWriter::resume(const std::string& path,
                                           std::uint64_t fingerprint,
                                           std::size_t scenario_count) {
     // Validate identity first (throws on mismatch), then reopen for append.
-    (void)load_checkpoint(path, fingerprint, scenario_count);
+    const CheckpointContents contents =
+        load_checkpoint(path, fingerprint, scenario_count);
     CheckpointWriter writer(Tag{}, path);
     writer.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
     if (writer.fd_ < 0)
         throw CheckpointError("cannot reopen checkpoint " + path + ": " +
                               std::strerror(errno));
+    // A torn tail that load dropped must also leave the file: O_APPEND lands
+    // new records at physical EOF, and a partial record stranded mid-file
+    // reads as hard corruption on the next load.
+    if (::ftruncate(writer.fd_, static_cast<off_t>(contents.valid_bytes)) != 0)
+        throw CheckpointError("cannot drop torn tail of checkpoint " + path +
+                              ": " + std::strerror(errno));
     return writer;
 }
 
@@ -121,7 +128,16 @@ CheckpointContents load_checkpoint(const std::string& path,
     CheckpointContents contents;
     std::string line;
     std::size_t line_no = 1;
+    // Bytes consumed by the line just read: its text plus the '\n' getline
+    // swallowed — absent exactly when the file ended without one (eofbit),
+    // which only happens inside a torn record we are about to drop anyway.
+    const auto line_bytes = [&in](const std::string& l) {
+        return static_cast<std::uint64_t>(l.size()) + (in.eof() ? 0 : 1);
+    };
     if (!std::getline(in, line)) fail(path, line_no, "empty file");
+    if (in.eof())
+        fail(path, line_no, "header missing trailing newline (torn header)");
+    contents.valid_bytes = line_bytes(line);
 
     {
         std::istringstream header(line);
@@ -176,6 +192,7 @@ CheckpointContents load_checkpoint(const std::string& path,
         if (count == 0) fail(path, line_no, "empty batch record");
 
         const std::size_t header_line_no = line_no;
+        std::uint64_t record_bytes = line_bytes(line);
         CheckpointBatch batch;
         batch.first = first;
         bool torn = false;
@@ -185,6 +202,7 @@ CheckpointContents load_checkpoint(const std::string& path,
                 break;
             }
             ++line_no;
+            record_bytes += line_bytes(line);
             try {
                 (void)fleet::decode_outcome_line(line);
             } catch (const fleet::CodecError& e) {
@@ -201,6 +219,7 @@ CheckpointContents load_checkpoint(const std::string& path,
                 torn = true;
             } else {
                 ++line_no;
+                record_bytes += line_bytes(line);
                 if (line != "e " + std::to_string(first)) {
                     if (at_eof()) {
                         torn = true;
@@ -209,6 +228,11 @@ CheckpointContents load_checkpoint(const std::string& path,
                              "batch trailer mismatch: expected 'e " +
                                  std::to_string(first) + "', got '" + line + "'");
                     }
+                } else if (in.eof()) {
+                    // Trailer text landed but its newline did not: the write
+                    // tore one byte short. Drop the record so a resumed run
+                    // never appends onto an unterminated line.
+                    torn = true;
                 }
             }
         }
@@ -232,6 +256,7 @@ CheckpointContents load_checkpoint(const std::string& path,
                      ") overlaps an earlier record");
         }
         contents.batches.push_back(std::move(batch));
+        contents.valid_bytes += record_bytes;
     }
     return contents;
 }

@@ -108,6 +108,7 @@ struct Coordinator::Impl {
         REFPGA_EXPECTS(options.workers >= 1);
         REFPGA_EXPECTS(options.worker_threads >= 1);
         REFPGA_EXPECTS(options.batch >= 1);
+        REFPGA_EXPECTS(options.drain_timeout_ms >= 1);
         REFPGA_EXPECTS(!options.spool_path.empty());
         job_json = spec.canonical_json();
         grid = spec.grid_size();
@@ -460,12 +461,13 @@ struct Coordinator::Impl {
     /// After Shutdown: keep reading until every worker closes its pipe, so
     /// in-flight batches land in the journal before the final report.
     void drain_until_exit() {
+        bool term_sent = false;
         while (alive_workers() > 0) {
             std::vector<pollfd> fds;
             for (const WorkerProc& w : workers)
                 if (w.alive) fds.push_back({w.from_fd, POLLIN, 0});
-            const int rc = ::poll(fds.data(),
-                                  static_cast<nfds_t>(fds.size()), 5000);
+            const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                                  options.drain_timeout_ms);
             if (rc < 0 && errno != EINTR)
                 throw CoordinatorError(std::string("poll: ") +
                                        std::strerror(errno));
@@ -478,12 +480,19 @@ struct Coordinator::Impl {
             }
             if (rc == 0) {
                 // A worker neither producing nor exiting after Shutdown is
-                // wedged; don't hang the final report on it.
+                // presumed wedged. Escalate: SIGTERM first so a merely slow
+                // batch still dies cleanly at the process level, SIGKILL on
+                // the next expiry so the final report cannot hang forever.
                 for (WorkerProc& w : workers)
                     if (w.alive) {
-                        ::kill(w.pid, SIGKILL);
-                        on_worker_death(w, "shutdown timeout");
+                        if (!term_sent) {
+                            ::kill(w.pid, SIGTERM);
+                        } else {
+                            ::kill(w.pid, SIGKILL);
+                            on_worker_death(w, "shutdown timeout");
+                        }
                     }
+                term_sent = true;
             }
         }
     }

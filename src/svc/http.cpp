@@ -1,7 +1,10 @@
 #include "refpga/svc/http.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include <sys/time.h>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -70,14 +73,27 @@ bool HttpEndpoint::serve_ready(const Handler& handler) {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) return false;
 
+    // This runs inline on the coordinator's single-threaded event loop, so
+    // a client that connects and then sends nothing (or dribbles) must not
+    // stall dispatch, checkpointing, and worker handling: every recv times
+    // out quickly and the whole head read has a hard deadline.
+    timeval tv{};
+    tv.tv_usec = 250 * 1000;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+
     // Read until the blank line that ends the request head (or the client
     // stops sending). Requests of interest are a few hundred bytes.
     std::string request;
     char buf[1024];
     while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < 16 * 1024) {
+           request.size() < 16 * 1024 &&
+           std::chrono::steady_clock::now() < deadline) {
         const ssize_t r = ::recv(client, buf, sizeof buf, 0);
         if (r < 0 && errno == EINTR) continue;
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         if (r <= 0) break;
         request.append(buf, static_cast<std::size_t>(r));
     }

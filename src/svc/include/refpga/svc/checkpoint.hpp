@@ -83,6 +83,11 @@ struct CheckpointContents {
     std::vector<CheckpointBatch> batches;
     /// True when the file ended inside a record (torn tail was dropped).
     bool torn_tail = false;
+    /// Byte offset just past the last valid record (the header when there
+    /// are none). resume() truncates the file here so a dropped torn tail
+    /// cannot end up mid-file — where the next load would treat it as hard
+    /// corruption — once new records are appended after it.
+    std::uint64_t valid_bytes = 0;
 };
 
 /// Loads and validates a journal. `expected_fingerprint`/`expected_count`

@@ -65,6 +65,14 @@ struct CoordinatorOptions {
     bool restart_dead_workers = true;
     int max_worker_restarts = 2;
 
+    /// Milliseconds of poll silence after Shutdown before a worker is
+    /// presumed wedged. The first expiry sends SIGTERM (a batch that is
+    /// merely slow still gets to finish and commit); a second expiry
+    /// escalates to SIGKILL so the final report cannot hang forever. Size
+    /// this above the slowest expected batch, or stop/resume recomputes
+    /// the in-flight batches of workers killed mid-compute.
+    int drain_timeout_ms = 30000;
+
     /// Observability sinks (both optional).
     obs::Recorder* recorder = nullptr;
     /// Already-listening HTTP endpoint to serve on the event loop

@@ -80,7 +80,11 @@ std::uint64_t u64_value(const JsonValue& v, const char* key) {
         for (const char c : s) {
             if (c < '0' || c > '9')
                 throw JobError(std::string(key) + ": malformed seed '" + s + "'");
-            out = out * 10 + static_cast<std::uint64_t>(c - '0');
+            const auto digit = static_cast<std::uint64_t>(c - '0');
+            if (out > (UINT64_MAX - digit) / 10)
+                throw JobError(std::string(key) + ": seed '" + s +
+                               "' overflows 64 bits");
+            out = out * 10 + digit;
         }
         return out;
     }

@@ -135,7 +135,11 @@ std::vector<std::uint64_t> parse_fields(std::string_view payload, std::size_t n)
             if (c < '0' || c > '9')
                 throw WireError("non-numeric payload field '" +
                                 std::string(token) + "'");
-            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+            const auto digit = static_cast<std::uint64_t>(c - '0');
+            if (value > (UINT64_MAX - digit) / 10)
+                throw WireError("payload field '" + std::string(token) +
+                                "' overflows 64 bits");
+            value = value * 10 + digit;
         }
         fields.push_back(value);
         if (end == std::string_view::npos) break;

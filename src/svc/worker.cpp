@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include <poll.h>
@@ -134,6 +135,15 @@ private:
             scenarios_.begin() + static_cast<std::ptrdiff_t>(shard.next + count));
         const fleet::CampaignRunner runner(options_);
         const fleet::CampaignResult result = runner.run(slice);
+        // The cursor advance below and the coordinator's shard.next both
+        // assume one outcome per scenario; anything else must fail loudly
+        // here, not as a baffling "does not continue shard" protocol error.
+        if (result.outcomes.size() != slice.size())
+            throw std::runtime_error(
+                "CampaignRunner returned " +
+                std::to_string(result.outcomes.size()) + " outcomes for " +
+                std::to_string(slice.size()) + " scenarios in shard " +
+                std::to_string(shard.id));
 
         std::vector<std::string> lines;
         lines.reserve(result.outcomes.size());

@@ -8,6 +8,7 @@
 // and after a graceful stop plus checkpoint resume.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <sstream>
@@ -87,6 +88,12 @@ TEST(Wire, PayloadHelpersValidateShape) {
     EXPECT_THROW((void)parse_fields("3 14", 3), WireError);
     EXPECT_THROW((void)parse_fields("3 x 15", 3), WireError);
 
+    // Fields that overflow u64 must throw, not wrap; kNothingStolen (the
+    // largest legitimate value, 2^64-1) must still round-trip.
+    EXPECT_THROW((void)parse_fields("99999999999999999999999", 1), WireError);
+    EXPECT_THROW((void)parse_fields("18446744073709551616", 1), WireError);
+    EXPECT_EQ(parse_fields("18446744073709551615", 1)[0], kNothingStolen);
+
     const std::vector<std::string> lines{"{\"a\":1}", "{\"b\":2}"};
     const BatchPayload batch = parse_batch(encode_batch(7, 40, lines));
     EXPECT_EQ(batch.shard, 7u);
@@ -152,6 +159,20 @@ TEST(Job, RejectsUnknownAndMalformedFields) {
     EXPECT_THROW((void)JobSpec::from_json("{\"cycles\":0}"), JobError);
     EXPECT_THROW((void)JobSpec::from_json("{\"upset_rates\":[-1]}"), JobError);
     EXPECT_THROW((void)JobSpec::from_json("{\"cycles\":2.5}"), JobError);
+}
+
+TEST(Job, SeedStringsRejectOverflowButAcceptMaxU64) {
+    // A >20-digit seed must fail loudly, not wrap modulo 2^64 into a
+    // different (accepted!) seed.
+    EXPECT_THROW((void)JobSpec::from_json(
+                     "{\"campaign_seed\":\"99999999999999999999999\"}"),
+                 JobError);
+    EXPECT_THROW(
+        (void)JobSpec::from_json("{\"campaign_seed\":\"18446744073709551616\"}"),
+        JobError);
+    const JobSpec spec =
+        JobSpec::from_json("{\"campaign_seed\":\"18446744073709551615\"}");
+    EXPECT_EQ(spec.campaign_seed, UINT64_MAX);
 }
 
 TEST(Job, FingerprintSeparatesDifferentJobs) {
@@ -222,6 +243,54 @@ TEST(Checkpoint, TornTailIsDroppedNotFatal) {
     EXPECT_TRUE(contents.torn_tail);
     ASSERT_EQ(contents.batches.size(), 1u);
     EXPECT_EQ(contents.batches[0].first, 0u);
+}
+
+TEST(Checkpoint, ResumeAfterTornTailTruncatesAndStaysLoadable) {
+    const std::string path = temp_path("ckpt_torn_resume");
+    {
+        CheckpointWriter writer(path, 0x1234, 10);
+        writer.append(0, sample_lines(0, 3));
+        writer.append(3, sample_lines(3, 3));
+    }
+    // Crash shape: chop the file mid-way through the second record.
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream all;
+    all << in.rdbuf();
+    in.close();
+    const std::string full = all.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() - 30);
+    out.close();
+
+    // Resume must drop the torn tail from the file itself before appending;
+    // otherwise the partial record ends up mid-file and the next load sees
+    // hard corruption instead of a clean journal.
+    {
+        CheckpointWriter writer = CheckpointWriter::resume(path, 0x1234, 10);
+        writer.append(3, sample_lines(3, 3));
+        writer.append(6, sample_lines(6, 4));
+    }
+    const CheckpointContents contents = load_checkpoint(path, 0x1234, 10);
+    EXPECT_FALSE(contents.torn_tail);
+    ASSERT_EQ(contents.batches.size(), 3u);
+    EXPECT_EQ(contents.batches[1].first, 3u);
+    EXPECT_EQ(contents.batches[2].first, 6u);
+    EXPECT_EQ(contents.batches[2].lines.size(), 4u);
+
+    // A second crash + resume cycle over the same journal must also work.
+    std::ifstream in2(path, std::ios::binary);
+    std::stringstream all2;
+    all2 << in2.rdbuf();
+    in2.close();
+    const std::string full2 = all2.str();
+    std::ofstream out2(path, std::ios::binary | std::ios::trunc);
+    out2 << full2.substr(0, full2.size() - 1);  // tear just the final newline
+    out2.close();
+    {
+        CheckpointWriter writer = CheckpointWriter::resume(path, 0x1234, 10);
+        writer.append(6, sample_lines(6, 4));
+    }
+    EXPECT_EQ(load_checkpoint(path, 0x1234, 10).batches.size(), 3u);
 }
 
 TEST(Checkpoint, CorruptJournalsFailLoudly) {
@@ -412,6 +481,31 @@ TEST(Http, ServesHandlerBodiesOverTcp) {
         return true;
     }));
     client.join();
+}
+
+TEST(Http, SilentClientCannotWedgeServeReady) {
+    HttpEndpoint http;
+    http.listen(0);
+    ASSERT_TRUE(http.listening());
+
+    // Connect and send nothing: serve_ready runs on the coordinator's event
+    // loop, so it must give up on the head read and return, not block.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(http.port());
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_TRUE(http.serve_ready(
+        [](const std::string&, std::string&) { return false; }));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(10))
+        << "serve_ready must time out on a silent client";
+    ::close(fd);
 }
 
 // ---------------------------------------------------------------- e2e
