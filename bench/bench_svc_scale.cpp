@@ -17,6 +17,13 @@
 // Emits BENCH_svc_scale.json next to the binary; --json mirrors it to
 // stdout. Exit status is non-zero on a parity violation or a failed
 // speedup gate.
+//
+// --chaos switches to the recovery-overhead matrix instead: the same job
+// runs once clean and once under each fault category (worker hang, mid-
+// batch crash, torn frame, slow straggler) with the liveness layer armed.
+// Every faulted run must still complete and render byte-identically to the
+// single-process report — recovery cost is allowed to show up only as wall
+// time, never as report drift. Emits BENCH_svc_chaos.json.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -67,14 +74,163 @@ struct Run {
     bool byte_identical = false;
 };
 
+/// One row of the --chaos matrix: a fault category, the options that arm
+/// it, and what the run had to do to survive.
+struct ChaosRun {
+    std::string fault;
+    double wall_s = 0.0;
+    double overhead = 1.0;  ///< wall vs the clean liveness-armed run
+    bool completed = false;
+    bool byte_identical = false;
+    std::uint64_t restarts = 0;
+    std::uint64_t liveness_kills = 0;
+    std::uint64_t speculations = 0;
+    std::uint64_t duplicates_discarded = 0;
+    std::uint64_t protocol_errors = 0;
+};
+
+/// The liveness policy every chaos-matrix run (clean included) uses, so the
+/// overhead column compares like with like.
+svc::CoordinatorOptions chaos_base_options(const std::string& tag) {
+    svc::CoordinatorOptions options;
+    options.workers = 2;
+    options.worker_threads = 1;
+    options.batch = 1;
+    options.spool_path = "BENCH_svc_chaos_" + tag + ".spool";
+    options.heartbeat_interval_ms = 25;
+    options.heartbeat_miss_limit = 2;
+    options.liveness_timeout_ms = 150;
+    options.restart_backoff_ms = 1;
+    options.restart_backoff_cap_ms = 50;
+    options.max_worker_restarts = 4;
+    return options;
+}
+
+int run_chaos_matrix(const svc::JobSpec& spec, const std::string& reference_json,
+                     bool smoke, bool echo_json) {
+    struct Case {
+        const char* name;
+        void (*arm)(svc::CoordinatorOptions&);
+    };
+    const Case cases[] = {
+        {"clean", [](svc::CoordinatorOptions&) {}},
+        {"hang",
+         [](svc::CoordinatorOptions& o) {
+             o.chaos.hang_prob = 1.0;
+             o.chaos.only_worker = 0;
+         }},
+        {"crash-mid-batch",
+         [](svc::CoordinatorOptions& o) {
+             o.chaos.crash_phase = svc::CrashPhase::MidBatch;
+             o.chaos.crash_after = 1;
+         }},
+        {"torn-frame",
+         [](svc::CoordinatorOptions& o) {
+             o.chaos.torn_frame_prob = 1.0;
+             o.chaos.only_worker = 0;
+         }},
+        {"slow-straggler",
+         [](svc::CoordinatorOptions& o) {
+             o.chaos.slow_batch_prob = 1.0;
+             o.chaos.slow_ms = 60;
+             o.chaos.only_worker = 0;
+             o.steal_min = 1000;  // force the speculation path, not stealing
+             o.straggler_factor = 2.0;
+             o.straggler_min_ms = 40;
+         }},
+    };
+
+    std::vector<ChaosRun> runs;
+    double clean_wall = 0.0;
+    bool all_ok = true;
+
+    Table table({"fault", "wall (s)", "overhead", "restarts", "kills",
+                 "specs", "dupes", "report"});
+    for (const Case& c : cases) {
+        svc::CoordinatorOptions options = chaos_base_options(c.name);
+        options.chaos_seed = 2008;
+        c.arm(options);
+
+        svc::Coordinator coordinator(spec, options);
+        const auto begin = std::chrono::steady_clock::now();
+        const svc::CoordinatorResult result = coordinator.run();
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+                .count();
+
+        ChaosRun run;
+        run.fault = c.name;
+        run.wall_s = seconds;
+        if (run.fault == "clean") clean_wall = seconds;
+        run.overhead = clean_wall > 0.0 ? seconds / clean_wall : 1.0;
+        run.completed = result.completed;
+        run.byte_identical =
+            result.completed &&
+            coordinator.report().render_json() == reference_json;
+        run.restarts = result.worker_restarts;
+        run.liveness_kills = result.liveness_kills + result.deadline_kills;
+        run.speculations = result.speculations;
+        run.duplicates_discarded = result.duplicates_discarded;
+        run.protocol_errors = result.protocol_errors;
+        all_ok = all_ok && run.completed && run.byte_identical;
+        runs.push_back(run);
+        table.add_row({run.fault, Table::num(seconds, 3),
+                       Table::num(run.overhead, 2) + "x",
+                       std::to_string(run.restarts),
+                       std::to_string(run.liveness_kills),
+                       std::to_string(run.speculations),
+                       std::to_string(run.duplicates_discarded),
+                       !run.completed        ? "INCOMPLETE"
+                       : run.byte_identical ? "identical"
+                                            : "DIFFERS"});
+    }
+    std::cout << table.render();
+    std::cout << "all faulted runs byte-identical to single-process report: "
+              << (all_ok ? "yes" : "NO — RECOVERY BUG") << "\n";
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"bench\": \"svc_chaos\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"scenarios\": " << spec.grid_size() << ",\n"
+       << "  \"faults\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        js << (i > 0 ? ", " : "") << "{\"fault\": \"" << runs[i].fault
+           << "\", \"wall_s\": " << runs[i].wall_s
+           << ", \"overhead_vs_clean\": " << runs[i].overhead
+           << ", \"completed\": " << (runs[i].completed ? "true" : "false")
+           << ", \"worker_restarts\": " << runs[i].restarts
+           << ", \"liveness_kills\": " << runs[i].liveness_kills
+           << ", \"speculations\": " << runs[i].speculations
+           << ", \"duplicates_discarded\": " << runs[i].duplicates_discarded
+           << ", \"protocol_errors\": " << runs[i].protocol_errors
+           << ", \"report_byte_identical\": "
+           << (runs[i].byte_identical ? "true" : "false") << "}";
+    js << "],\n"
+       << "  \"parity_ok\": " << (all_ok ? "true" : "false") << "\n"
+       << "}\n";
+    std::ofstream("BENCH_svc_chaos.json") << js.str();
+    if (echo_json) std::cout << js.str();
+
+    if (!all_ok) {
+        std::cerr << "FAIL: a faulted run did not complete or its report "
+                     "differs from the single-process report\n";
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const bool smoke = benchkit::smoke_mode(argc, argv);
     const bool echo_json = flag(argc, argv, "--json");
-    benchkit::print_header("svc scale",
-                           std::string("sharded campaign vs worker processes") +
-                               (smoke ? " [smoke]" : ""));
+    const bool chaos = flag(argc, argv, "--chaos");
+    benchkit::print_header(
+        chaos ? "svc chaos" : "svc scale",
+        std::string(chaos ? "recovery overhead under injected faults"
+                          : "sharded campaign vs worker processes") +
+            (smoke ? " [smoke]" : ""));
 
     const svc::JobSpec spec = scale_job(smoke);
     int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -88,6 +244,8 @@ int main(int argc, char** argv) {
         fleet::CampaignReport::from(
             fleet::CampaignRunner(reference_options).run(spec.expand()))
             .render_json();
+
+    if (chaos) return run_chaos_matrix(spec, reference_json, smoke, echo_json);
 
     std::vector<Run> runs;
     double single_rate = 0.0;

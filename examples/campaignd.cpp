@@ -1,6 +1,6 @@
 // Sharded campaign service driver: runs a JSON-specified sweep across N
-// worker processes with streaming aggregation, work stealing and
-// checkpoint/resume.
+// worker processes with streaming aggregation, work stealing, liveness
+// supervision and checkpoint/resume.
 //
 //   ./build/examples/campaignd --spec job.json --workers 4
 //   ./build/examples/campaignd --spec job.json --checkpoint run.ckpt
@@ -13,6 +13,18 @@
 // streaming accumulator renders them in sweep order, so neither worker
 // count, batch interleaving, a crashed-and-reassigned worker nor a
 // checkpoint resume can change a byte of the output.
+//
+// Liveness (on by default here; library defaults are off): workers are
+// pinged once a second, a silent worker is reaped and restarted with
+// exponential backoff, and --progress-timeout-ms / --straggler-factor add
+// progress deadlines and speculative re-execution on top. --min-workers
+// fails fast when the fleet cannot be kept at strength; --partial-ok
+// instead finishes with whatever committed and marks the report partial
+// (with its exact missing index ranges) in both output formats.
+//
+// The --chaos-* family arms the deterministic fault-injection harness used
+// by the chaos drill in CI: every injected fault is drawn from seeded
+// per-category streams, so a failing drill replays exactly.
 //
 // SIGINT/SIGTERM stop dispatch, drain in-flight batches into the checkpoint
 // and report what completed; the exit code is then non-zero and a --resume
@@ -50,12 +62,48 @@ int parse_int(const char* text, const char* flag) {
     return static_cast<int>(v);
 }
 
+double parse_prob(const char* text, const char* flag) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0 || v > 1.0) {
+        std::cerr << "invalid probability for " << flag << ": " << text << "\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+double parse_double(const char* text, const char* flag) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0) {
+        std::cerr << "invalid value for " << flag << ": " << text << "\n";
+        std::exit(2);
+    }
+    return v;
+}
+
 int usage() {
-    std::cerr << "usage: campaignd --spec FILE [--workers N] [--threads N]\n"
-                 "                 [--batch N] [--shard N]\n"
-                 "                 [--checkpoint FILE [--resume]]\n"
-                 "                 [--spool FILE] [--http-port P]\n"
-                 "                 [--json] [--out FILE] [--no-restart]\n";
+    std::cerr
+        << "usage: campaignd --spec FILE [--workers N] [--threads N]\n"
+           "                 [--batch N] [--shard N] [--steal-min N]\n"
+           "                 [--checkpoint FILE [--resume]] [--fsync-every N]\n"
+           "                 [--spool FILE] [--http-port P]\n"
+           "                 [--json] [--out FILE] [--metrics-json FILE]\n"
+           "  fleet policy:  [--no-restart] [--max-restarts N]\n"
+           "                 [--restart-backoff-ms N] [--min-workers N]\n"
+           "                 [--partial-ok]\n"
+           "  liveness:      [--heartbeat-ms N] [--heartbeat-miss-limit N]\n"
+           "                 [--liveness-timeout-ms N]\n"
+           "                 [--progress-timeout-ms N]\n"
+           "                 [--straggler-factor X] [--straggler-min-ms N]\n"
+           "  chaos drills:  [--chaos-seed N] [--chaos-hang P]\n"
+           "                 [--chaos-torn P] [--chaos-corrupt-length P]\n"
+           "                 [--chaos-corrupt-payload P] [--chaos-drop P]\n"
+           "                 [--chaos-delay P] [--chaos-slow P]\n"
+           "                 [--chaos-slow-ms N] [--chaos-crash PHASE]\n"
+           "                 [--chaos-crash-after N]\n"
+           "                 [--chaos-tear-checkpoint N] [--chaos-tear-bytes N]\n"
+           "                 [--chaos-only-worker N] [--chaos-all-generations]\n";
     return 2;
 }
 
@@ -73,11 +121,17 @@ int main(int argc, char** argv) {
     std::string checkpoint_path;
     std::string spool_path;
     std::string out_path;
+    std::string metrics_path;
     bool resume = false;
     bool json = false;
     bool restart = true;
     int http_port = -1;
     svc::CoordinatorOptions options;
+    // Liveness on by default at the CLI: an operator-facing daemon should
+    // notice a wedged worker on its own. (The library defaults stay off so
+    // embedded runs are frame-identical to the pre-liveness protocol.)
+    options.heartbeat_interval_ms = 1000;
+    options.restart_backoff_ms = 100;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -93,10 +147,16 @@ int main(int argc, char** argv) {
         } else if (arg == "--shard" && i + 1 < argc) {
             options.shard =
                 static_cast<std::uint64_t>(parse_int(argv[++i], "--shard"));
+        } else if (arg == "--steal-min" && i + 1 < argc) {
+            options.steal_min =
+                static_cast<std::uint64_t>(parse_int(argv[++i], "--steal-min"));
         } else if (arg == "--checkpoint" && i + 1 < argc) {
             checkpoint_path = argv[++i];
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--fsync-every" && i + 1 < argc) {
+            options.checkpoint_fsync_every_n =
+                static_cast<std::uint64_t>(parse_int(argv[++i], "--fsync-every"));
         } else if (arg == "--spool" && i + 1 < argc) {
             spool_path = argv[++i];
         } else if (arg == "--http-port" && i + 1 < argc) {
@@ -105,8 +165,81 @@ int main(int argc, char** argv) {
             json = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else if (arg == "--no-restart") {
             restart = false;
+        } else if (arg == "--max-restarts" && i + 1 < argc) {
+            options.max_worker_restarts = parse_int(argv[++i], "--max-restarts");
+        } else if (arg == "--restart-backoff-ms" && i + 1 < argc) {
+            options.restart_backoff_ms =
+                parse_int(argv[++i], "--restart-backoff-ms");
+        } else if (arg == "--min-workers" && i + 1 < argc) {
+            options.min_workers = parse_int(argv[++i], "--min-workers");
+        } else if (arg == "--partial-ok") {
+            options.partial_ok = true;
+        } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+            options.heartbeat_interval_ms = parse_int(argv[++i], "--heartbeat-ms");
+        } else if (arg == "--heartbeat-miss-limit" && i + 1 < argc) {
+            options.heartbeat_miss_limit =
+                parse_int(argv[++i], "--heartbeat-miss-limit");
+        } else if (arg == "--liveness-timeout-ms" && i + 1 < argc) {
+            options.liveness_timeout_ms =
+                parse_int(argv[++i], "--liveness-timeout-ms");
+        } else if (arg == "--progress-timeout-ms" && i + 1 < argc) {
+            options.progress_timeout_ms =
+                parse_int(argv[++i], "--progress-timeout-ms");
+        } else if (arg == "--straggler-factor" && i + 1 < argc) {
+            options.straggler_factor =
+                parse_double(argv[++i], "--straggler-factor");
+        } else if (arg == "--straggler-min-ms" && i + 1 < argc) {
+            options.straggler_min_ms = parse_int(argv[++i], "--straggler-min-ms");
+        } else if (arg == "--chaos-seed" && i + 1 < argc) {
+            options.chaos_seed =
+                static_cast<std::uint64_t>(parse_int(argv[++i], "--chaos-seed"));
+        } else if (arg == "--chaos-hang" && i + 1 < argc) {
+            options.chaos.hang_prob = parse_prob(argv[++i], "--chaos-hang");
+        } else if (arg == "--chaos-torn" && i + 1 < argc) {
+            options.chaos.torn_frame_prob = parse_prob(argv[++i], "--chaos-torn");
+        } else if (arg == "--chaos-corrupt-length" && i + 1 < argc) {
+            options.chaos.corrupt_length_prob =
+                parse_prob(argv[++i], "--chaos-corrupt-length");
+        } else if (arg == "--chaos-corrupt-payload" && i + 1 < argc) {
+            options.chaos.corrupt_payload_prob =
+                parse_prob(argv[++i], "--chaos-corrupt-payload");
+        } else if (arg == "--chaos-drop" && i + 1 < argc) {
+            options.chaos.drop_frame_prob = parse_prob(argv[++i], "--chaos-drop");
+        } else if (arg == "--chaos-delay" && i + 1 < argc) {
+            options.chaos.delay_frame_prob =
+                parse_prob(argv[++i], "--chaos-delay");
+        } else if (arg == "--chaos-slow" && i + 1 < argc) {
+            options.chaos.slow_batch_prob = parse_prob(argv[++i], "--chaos-slow");
+        } else if (arg == "--chaos-slow-ms" && i + 1 < argc) {
+            options.chaos.slow_ms = parse_int(argv[++i], "--chaos-slow-ms");
+        } else if (arg == "--chaos-crash" && i + 1 < argc) {
+            const char* phase = argv[++i];
+            try {
+                options.chaos.crash_phase = refpga::svc::parse_crash_phase(phase);
+            } catch (const std::exception&) {
+                std::cerr << "invalid --chaos-crash phase: " << phase
+                          << " (pre-init, mid-batch, pre-truncate-ack, "
+                             "pre-checkpoint)\n";
+                return 2;
+            }
+        } else if (arg == "--chaos-crash-after" && i + 1 < argc) {
+            options.chaos.crash_after = static_cast<std::uint64_t>(
+                parse_int(argv[++i], "--chaos-crash-after"));
+        } else if (arg == "--chaos-tear-checkpoint" && i + 1 < argc) {
+            options.chaos.checkpoint_tear_after = static_cast<std::uint64_t>(
+                parse_int(argv[++i], "--chaos-tear-checkpoint"));
+        } else if (arg == "--chaos-tear-bytes" && i + 1 < argc) {
+            options.chaos.checkpoint_tear_bytes = static_cast<std::size_t>(
+                parse_int(argv[++i], "--chaos-tear-bytes"));
+        } else if (arg == "--chaos-only-worker" && i + 1 < argc) {
+            options.chaos.only_worker =
+                parse_int(argv[++i], "--chaos-only-worker");
+        } else if (arg == "--chaos-all-generations") {
+            options.chaos_all_generations = true;
         } else {
             return usage();
         }
@@ -115,6 +248,10 @@ int main(int argc, char** argv) {
     if (options.workers < 1 || options.worker_threads < 1 ||
         options.batch < 1) {
         std::cerr << "--workers, --threads and --batch must be >= 1\n";
+        return 2;
+    }
+    if (options.min_workers < 1) {
+        std::cerr << "--min-workers must be >= 1\n";
         return 2;
     }
     if (resume && checkpoint_path.empty()) {
@@ -164,7 +301,24 @@ int main(int argc, char** argv) {
                   << result.shards_stolen << " stolen, "
                   << result.shards_reassigned << " reassigned, "
                   << result.worker_restarts << " restarts\n";
-        if (!result.completed)
+        if (result.heartbeat_misses + result.liveness_kills +
+                result.deadline_kills + result.speculations +
+                result.duplicates_discarded + result.protocol_errors +
+                result.chaos_faults_injected >
+            0)
+            std::cerr << "campaignd: liveness: " << result.heartbeat_misses
+                      << " heartbeat misses, " << result.liveness_kills
+                      << " liveness kills, " << result.deadline_kills
+                      << " deadline kills, " << result.speculations
+                      << " speculations, " << result.duplicates_discarded
+                      << " duplicates discarded, " << result.protocol_errors
+                      << " protocol errors, " << result.chaos_faults_injected
+                      << " chaos faults\n";
+        if (result.partial)
+            std::cerr << "campaignd: PARTIAL result accepted under "
+                         "--partial-ok; missing ranges are listed in the "
+                         "report\n";
+        else if (!result.completed)
             std::cerr << "campaignd: incomplete: " << result.error << "\n";
 
         const std::string report = json ? coordinator.report().render_json()
@@ -179,6 +333,19 @@ int main(int argc, char** argv) {
             }
             out << report << "\n";
         }
+        if (!metrics_path.empty()) {
+            std::ofstream metrics_out(metrics_path);
+            if (!metrics_out) {
+                std::cerr << "cannot write " << metrics_path << "\n";
+                return 2;
+            }
+            metrics_out << recorder.metrics().render_json() << "\n";
+        }
+        // A partial result under --partial-ok is the requested behavior, not
+        // an error: exit reflects scenario failures only. Anything else
+        // short of completion is a failure exit so scripts notice.
+        if (result.partial)
+            return coordinator.report().failure_count() == 0 ? 0 : 1;
         if (!result.completed) return 1;
         return coordinator.report().failure_count() == 0 ? 0 : 1;
     } catch (const std::exception& e) {

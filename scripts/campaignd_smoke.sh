@@ -5,6 +5,13 @@
 # count in the merged report — proving the steal/reassign/restart machinery
 # survives a real process death, not just the in-process test double.
 #
+# After the kill smoke, a chaos drill matrix runs the seeded fault-injection
+# harness through the real binary: worker hang (heartbeat reap), torn frame,
+# mid-batch crash and slow straggler must all finish with a report
+# byte-identical to a clean run's, and a torn checkpoint must abort the run
+# and then complete via --resume. Every drill is deterministic (fixed
+# --chaos-seed), so a failure replays exactly.
+#
 # Usage: scripts/campaignd_smoke.sh [BUILD_DIR] [OUT_DIR]
 set -euo pipefail
 
@@ -105,3 +112,85 @@ fi
 
 echo "PASS: $EXPECTED/$EXPECTED scenarios after worker kill" \
      "(reassigned=$REASSIGNED restarts=$RESTARTS)"
+
+# ---------------------------------------------------------------- chaos drills
+
+DRILL_SPEC="$OUT_DIR/drill.json"
+DRILL_EXPECTED=12
+python3 - "$DRILL_SPEC" <<'EOF'
+import json, sys
+spec = {
+    "variants": ["reconfigured-hw"],
+    "parts": ["xc3s200"],
+    "ports": ["jcap"],
+    "noise_levels": [1e-3 * (1 + 0.05 * i) for i in range(12)],
+    "cycles": 2,
+    "campaign_seed": 20260808,
+}
+json.dump(spec, open(sys.argv[1], "w"))
+EOF
+
+# Clean reference rendering: every drill's report must match it byte for
+# byte — fault recovery may cost wall time, never report drift.
+REFERENCE="$OUT_DIR/drill_reference.json"
+"$CAMPAIGND" --spec "$DRILL_SPEC" --workers 2 --batch 1 --json \
+    --out "$REFERENCE" --spool "$OUT_DIR/drill_ref.spool" \
+    2> "$OUT_DIR/drill_reference.log"
+
+# run_drill NAME EXPECTED_RC EXTRA_FLAGS... — runs campaignd under one fault
+# category; on EXPECTED_RC=0 the report must equal the clean reference.
+run_drill() {
+    local name="$1" want_rc="$2"
+    shift 2
+    local out="$OUT_DIR/drill_$name.json"
+    local log="$OUT_DIR/drill_$name.log"
+    local rc=0
+    "$CAMPAIGND" --spec "$DRILL_SPEC" --workers 2 --batch 1 --json \
+        --out "$out" --spool "$OUT_DIR/drill_$name.spool" \
+        --metrics-json "$OUT_DIR/drill_$name.metrics.json" \
+        --chaos-seed 7 "$@" 2> "$log" || rc=$?
+    if [ "$rc" -ne "$want_rc" ]; then
+        cat "$log" >&2
+        echo "FAIL: drill '$name' exited $rc (wanted $want_rc)" >&2
+        exit 1
+    fi
+    if [ "$want_rc" -eq 0 ] && ! cmp -s "$out" "$REFERENCE"; then
+        cat "$log" >&2
+        echo "FAIL: drill '$name' report differs from the clean reference" >&2
+        exit 1
+    fi
+    echo "PASS: drill '$name' (exit $rc)"
+}
+
+# A hung worker is reaped by heartbeats and its range re-run clean.
+run_drill hang 0 --chaos-hang 1.0 --chaos-only-worker 0 \
+    --heartbeat-ms 50 --heartbeat-miss-limit 2 --liveness-timeout-ms 300 \
+    --max-restarts 2
+grep -q "liveness kills" "$OUT_DIR/drill_hang.log" \
+    || { echo "FAIL: hang drill logged no liveness kill" >&2; exit 1; }
+
+# A torn frame kills the writer mid-write; the dead worker's range requeues.
+run_drill torn 0 --chaos-torn 1.0 --chaos-only-worker 0 --max-restarts 2
+
+# A worker that dies after computing (before sending) every first batch.
+run_drill crash 0 --chaos-crash mid-batch --chaos-crash-after 1 \
+    --max-restarts 4 --restart-backoff-ms 10
+
+# A straggler 60ms/batch slower than the fleet: with stealing disabled the
+# speculation path must re-run its remainder on the idle worker.
+run_drill straggler 0 --chaos-slow 1.0 --chaos-slow-ms 60 \
+    --chaos-only-worker 0 --shard 6 --steal-min 1000 \
+    --straggler-factor 2.0 --straggler-min-ms 40
+grep -q " [1-9][0-9]* speculations" "$OUT_DIR/drill_straggler.log" \
+    || { echo "FAIL: straggler drill logged no speculation" >&2; exit 1; }
+
+# A torn checkpoint append aborts the run (non-zero exit, as a crash
+# would); --resume against the torn journal must finish byte-identically.
+DRILL_CKPT="$OUT_DIR/drill.ckpt"
+run_drill tear_ckpt 1 --checkpoint "$DRILL_CKPT" --chaos-tear-checkpoint 4 \
+    --chaos-tear-bytes 9
+run_drill resume_after_tear 0 --checkpoint "$DRILL_CKPT" --resume
+grep -q "resumed" "$OUT_DIR/drill_resume_after_tear.log" \
+    || { echo "FAIL: resume drill replayed nothing" >&2; exit 1; }
+
+echo "PASS: chaos drill matrix ($DRILL_EXPECTED scenarios per drill)"

@@ -78,6 +78,14 @@ public:
         metrics_json_ = std::move(metrics_json);
     }
 
+    /// Declares this accumulator's renderings partial: both formats then
+    /// carry the expected scenario count and the exact missing index ranges,
+    /// so a degraded run can never pass for a complete one. Set by the
+    /// coordinator when a run finishes under --partial-ok with workers
+    /// exhausted.
+    void mark_partial() { partial_ = true; }
+    [[nodiscard]] bool is_partial() const { return partial_; }
+
     /// Renders the committed outcomes in sweep-index order by streaming the
     /// spool (one decoded row in memory at a time). On a complete
     /// accumulator the output is byte-identical to CampaignReport's; a
@@ -123,6 +131,7 @@ private:
     std::vector<Segment> segments_;
     std::size_t failures_ = 0;
     std::size_t max_retained_rows_ = 0;
+    bool partial_ = false;
 
     std::vector<std::string> metric_keys_;
     std::vector<std::size_t> widths_;  ///< scenario-table column widths

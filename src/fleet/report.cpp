@@ -155,9 +155,17 @@ void append_summary_json(std::ostringstream& os, const MetricSummary& s) {
 }
 
 void append_text_head(std::ostringstream& os, std::size_t count,
-                      std::size_t failures) {
+                      std::size_t failures, const PartialFacts& partial) {
     os << "campaign: " << count << " scenarios, " << count - failures << " ok, "
-       << failures << " failed\n\n";
+       << failures << " failed\n";
+    if (partial.partial()) {
+        os << "partial: " << count << "/" << partial.expected_count
+           << " scenarios committed; missing:";
+        for (const IntervalSet::Interval& iv : partial.missing)
+            os << " [" << iv.first << ", " << iv.last << ")";
+        os << "\n";
+    }
+    os << "\n";
 }
 
 void append_text_failure(std::ostringstream& os, const ScenarioOutcome& o) {
@@ -189,10 +197,22 @@ void append_text_tail(std::ostringstream& os, const SummaryFn& summary,
 }
 
 void append_json_head(std::ostringstream& os, std::size_t count,
-                      std::size_t failures) {
+                      std::size_t failures, const PartialFacts& partial) {
     os << "{\"campaign\":{\"scenario_count\":" << count
        << ",\"ok_count\":" << count - failures
-       << ",\"failure_count\":" << failures << "},\"scenarios\":[";
+       << ",\"failure_count\":" << failures;
+    if (partial.partial()) {
+        os << ",\"partial\":{\"expected_count\":" << partial.expected_count
+           << ",\"missing_ranges\":[";
+        bool first = true;
+        for (const IntervalSet::Interval& iv : partial.missing) {
+            if (!first) os << ",";
+            first = false;
+            os << "[" << iv.first << "," << iv.last << "]";
+        }
+        os << "]}";
+    }
+    os << "},\"scenarios\":[";
 }
 
 void append_json_tail(std::ostringstream& os, const SummaryFn& summary,

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "refpga/common/interval_set.hpp"
 #include "refpga/fleet/campaign.hpp"
 #include "refpga/fleet/report.hpp"
 
@@ -56,9 +57,23 @@ using GroupSummaryFn =
 
 void append_summary_json(std::ostringstream& os, const MetricSummary& s);
 
-/// "campaign: N scenarios, M ok, F failed" + blank line.
+/// Partial-report annotation: the sweep size the run was supposed to cover
+/// and the index ranges it never committed. A default-constructed value
+/// (expected_count == 0) means "complete" and both heads render exactly
+/// their pre-partial bytes — which is what keeps complete merged reports
+/// byte-identical to CampaignReport's.
+struct PartialFacts {
+    std::size_t expected_count = 0;
+    std::vector<IntervalSet::Interval> missing;
+
+    [[nodiscard]] bool partial() const { return expected_count > 0; }
+};
+
+/// "campaign: N scenarios, M ok, F failed" + blank line; a partial report
+/// adds an explicit "partial: N/G scenarios committed; missing: ..." line.
 void append_text_head(std::ostringstream& os, std::size_t count,
-                      std::size_t failures);
+                      std::size_t failures,
+                      const PartialFacts& partial = {});
 /// "failures:" block (only call when there is at least one failure). Lines
 /// are appended per failed outcome via append_text_failure; close with a
 /// blank line by the caller’s next section.
@@ -70,9 +85,11 @@ void append_text_tail(std::ostringstream& os, const SummaryFn& summary,
                       const GroupSummaryFn& group_summary);
 
 /// '{"campaign":{...},"scenarios":[' — scenario objects follow, comma-managed
-/// by the caller.
+/// by the caller. A partial report adds a "partial" member with the expected
+/// count and the missing [first, last) ranges to the campaign object.
 void append_json_head(std::ostringstream& os, std::size_t count,
-                      std::size_t failures);
+                      std::size_t failures,
+                      const PartialFacts& partial = {});
 /// '],"summary":{...},"groups":[...]' plus the optional verbatim
 /// "observability" member and the closing brace.
 void append_json_tail(std::ostringstream& os, const SummaryFn& summary,

@@ -15,6 +15,17 @@ namespace {
 
 constexpr std::size_t kAxisCount = std::size(render::kAxes);
 
+/// Annotation for the render heads: empty unless the accumulator was
+/// explicitly marked partial, so complete reports keep their exact bytes.
+render::PartialFacts partial_facts(const ReportAccumulator& acc) {
+    render::PartialFacts facts;
+    if (acc.is_partial()) {
+        facts.expected_count = acc.scenario_count();
+        facts.missing = acc.covered().missing(acc.scenario_count());
+    }
+    return facts;
+}
+
 }  // namespace
 
 ReportAccumulator::ReportAccumulator(std::size_t scenario_count,
@@ -152,7 +163,7 @@ std::string ReportAccumulator::render_text() const {
                          groups_[g].value, groups_[g].count, groups_[g].failures});
 
     std::ostringstream os;
-    render::append_text_head(os, committed(), failures_);
+    render::append_text_head(os, committed(), failures_, partial_facts(*this));
 
     Table::emit_rule(os, widths_);
     Table::emit_row(os, widths_, render::scenario_table_header());
@@ -193,7 +204,7 @@ std::string ReportAccumulator::render_json() const {
                          groups_[g].value, groups_[g].count, groups_[g].failures});
 
     std::ostringstream os;
-    render::append_json_head(os, committed(), failures_);
+    render::append_json_head(os, committed(), failures_, partial_facts(*this));
     bool first = true;
     for_each_committed([&](std::size_t, const ScenarioOutcome& o) {
         if (!first) os << ",";

@@ -35,6 +35,36 @@ std::string header_line(std::uint64_t fingerprint, std::size_t scenario_count) {
                           ": " + why);
 }
 
+/// Full-write loop shared by header and record appends: short writes and
+/// EINTR are continuations, not errors.
+void write_all(int fd, const char* data, std::size_t n,
+               const std::string& path) {
+    while (n > 0) {
+        const ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            throw CheckpointError("checkpoint write to " + path + " failed: " +
+                                  std::strerror(errno));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+std::string batch_record(std::uint64_t first,
+                         const std::vector<std::string>& lines) {
+    // One buffered record per write(2): the `e` trailer lands in the same
+    // syscall as the data it seals, so a crash can only tear the last record.
+    std::string record =
+        "b " + std::to_string(first) + ' ' + std::to_string(lines.size()) + '\n';
+    for (const std::string& line : lines) {
+        record += line;
+        record += '\n';
+    }
+    record += "e " + std::to_string(first) + '\n';
+    return record;
+}
+
 }  // namespace
 
 CheckpointWriter::CheckpointWriter(Tag, const std::string& path) : path_(path) {}
@@ -48,9 +78,7 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
         throw CheckpointError("cannot create checkpoint " + path + ": " +
                               std::strerror(errno));
     const std::string header = header_line(fingerprint, scenario_count);
-    if (::write(fd_, header.data(), header.size()) !=
-        static_cast<ssize_t>(header.size()))
-        throw CheckpointError("cannot write checkpoint header to " + path);
+    write_all(fd_, header.data(), header.size(), path_);
 }
 
 CheckpointWriter CheckpointWriter::resume(const std::string& path,
@@ -76,7 +104,9 @@ CheckpointWriter CheckpointWriter::resume(const std::string& path,
 CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(std::exchange(other.fd_, -1)),
-      records_(other.records_) {}
+      records_(other.records_),
+      fsync_every_(other.fsync_every_),
+      appends_since_sync_(other.appends_since_sync_) {}
 
 CheckpointWriter& CheckpointWriter::operator=(CheckpointWriter&& other) noexcept {
     if (this != &other) {
@@ -84,6 +114,8 @@ CheckpointWriter& CheckpointWriter::operator=(CheckpointWriter&& other) noexcept
         path_ = std::move(other.path_);
         fd_ = std::exchange(other.fd_, -1);
         records_ = other.records_;
+        fsync_every_ = other.fsync_every_;
+        appends_since_sync_ = other.appends_since_sync_;
     }
     return *this;
 }
@@ -94,28 +126,27 @@ CheckpointWriter::~CheckpointWriter() {
 
 void CheckpointWriter::append(std::uint64_t first,
                               const std::vector<std::string>& lines) {
-    // One buffered record per write(2): the `e` trailer lands in the same
-    // syscall as the data it seals, so a crash can only tear the last record.
-    std::string record =
-        "b " + std::to_string(first) + ' ' + std::to_string(lines.size()) + '\n';
-    for (const std::string& line : lines) {
-        record += line;
-        record += '\n';
-    }
-    record += "e " + std::to_string(first) + '\n';
-    const char* data = record.data();
-    std::size_t n = record.size();
-    while (n > 0) {
-        const ssize_t w = ::write(fd_, data, n);
-        if (w < 0) {
-            if (errno == EINTR) continue;
-            throw CheckpointError("checkpoint append to " + path_ + " failed: " +
-                                  std::strerror(errno));
-        }
-        data += w;
-        n -= static_cast<std::size_t>(w);
-    }
+    const std::string record = batch_record(first, lines);
+    write_all(fd_, record.data(), record.size(), path_);
     ++records_;
+    if (fsync_every_ > 0 && ++appends_since_sync_ >= fsync_every_) sync();
+}
+
+void CheckpointWriter::append_torn(std::uint64_t first,
+                                   const std::vector<std::string>& lines,
+                                   std::size_t bytes) {
+    const std::string record = batch_record(first, lines);
+    const std::size_t cut =
+        bytes < record.size() ? bytes : record.size() - 1;
+    write_all(fd_, record.data(), cut, path_);
+}
+
+void CheckpointWriter::sync() {
+    if (fd_ < 0) return;
+    if (::fsync(fd_) != 0)
+        throw CheckpointError("fsync of checkpoint " + path_ + " failed: " +
+                              std::strerror(errno));
+    appends_since_sync_ = 0;
 }
 
 CheckpointContents load_checkpoint(const std::string& path,

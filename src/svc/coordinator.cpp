@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <deque>
@@ -16,6 +18,8 @@
 
 #include "refpga/common/contracts.hpp"
 #include "refpga/common/log.hpp"
+#include "refpga/common/rng.hpp"
+#include "refpga/fleet/outcome_codec.hpp"
 #include "refpga/svc/checkpoint.hpp"
 #include "refpga/svc/wire.hpp"
 #include "refpga/svc/worker.hpp"
@@ -23,6 +27,12 @@
 namespace refpga::svc {
 
 namespace {
+
+[[nodiscard]] std::int64_t now_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /// Contiguous scenario range awaiting assignment.
 struct Range {
@@ -37,6 +47,9 @@ struct ShardState {
     std::uint64_t first = 0;
     std::uint64_t next = 0;  ///< first index not yet committed
     std::uint64_t end = 0;   ///< exclusive (shrinks when stolen from)
+    /// A speculative copy of [next, end) runs elsewhere; losers' duplicate
+    /// commits are discarded in commit_batch.
+    bool speculated = false;
 };
 
 struct WorkerProc {
@@ -45,12 +58,25 @@ struct WorkerProc {
     int from_fd = -1;  ///< worker → coordinator
     FrameReader reader;
     bool alive = false;
+    int slot = 0;        ///< stable index in the fleet
+    int generation = 0;  ///< process incarnation of this slot
     std::optional<ShardState> shard;
     /// Truncate sent, TruncateAck not yet received; `steal_old_end` is the
     /// shard end recorded when the steal was initiated.
     bool steal_pending = false;
     std::uint64_t steal_old_end = 0;
     std::uint64_t killed_sent = 0;  ///< SIGKILL test hook fired
+
+    // --- liveness bookkeeping (liveness state machine: healthy while
+    // frames arrive; suspect while pings go unanswered; restarting between
+    // reap and respawn; dead once the restart budget is spent) -------------
+    std::int64_t last_heard_ms = 0;     ///< last complete frame received
+    std::int64_t last_progress_ms = 0;  ///< last commit/completion on its shard
+    std::int64_t last_ping_ms = 0;
+    int pings_unanswered = 0;
+    int restart_attempts = 0;        ///< per-slot, drives the backoff curve
+    std::int64_t restart_due_ms = -1;  ///< scheduled respawn (-1 = none)
+    std::int64_t death_ms = 0;
 
     void close_fds() {
         if (to_fd >= 0) ::close(to_fd);
@@ -63,7 +89,9 @@ struct WorkerProc {
 struct SvcObs {
     obs::Recorder* rec = nullptr;
     obs::MetricId dispatched, stolen, reassigned, restarts, checkpoints,
-        committed, backlog, workers;
+        committed, backlog, workers, pings, hb_misses, liveness_kills,
+        deadline_kills, speculations, dupes, protocol_errors, chaos_injected,
+        recovery_seconds;
 };
 
 SvcObs make_svc_obs(obs::Recorder* rec) {
@@ -79,8 +107,32 @@ SvcObs make_svc_obs(obs::Recorder* rec) {
     o.committed = m.counter("svc.scenarios_committed_total");
     o.backlog = m.gauge("svc.merge_backlog_segments");
     o.workers = m.gauge("svc.workers_alive");
+    o.pings = m.counter("svc.heartbeat_pings_total");
+    o.hb_misses = m.counter("svc.heartbeat_misses_total");
+    o.liveness_kills = m.counter("svc.liveness_kills_total");
+    o.deadline_kills = m.counter("svc.deadline_kills_total");
+    o.speculations = m.counter("svc.speculations_total");
+    o.dupes = m.counter("svc.duplicates_discarded_total");
+    o.protocol_errors = m.counter("svc.protocol_errors_total");
+    o.chaos_injected = m.counter("svc.chaos_faults_injected_total");
+    o.recovery_seconds = m.counter("svc.recovery_seconds_total");
     return o;
 }
+
+/// Thrown by the coordinator-side chaos hooks (checkpoint tear,
+/// pre-checkpoint crash). Deliberately NOT a CoordinatorError: the
+/// quarantine path must never swallow it — it unwinds to run(), which kills
+/// the fleet and abandons the drain, exactly as a real crash would.
+class SimulatedCrash : public std::exception {
+public:
+    explicit SimulatedCrash(std::string what) : what_(std::move(what)) {}
+    [[nodiscard]] const char* what() const noexcept override {
+        return what_.c_str();
+    }
+
+private:
+    std::string what_;
+};
 
 }  // namespace
 
@@ -96,11 +148,20 @@ struct Coordinator::Impl {
     std::deque<Range> pending;
     SvcObs obs;
     CoordinatorResult result;
+    /// Coordinator-side chaos schedule (checkpoint tears, PreCheckpoint
+    /// crashes). Worker-side categories live in each worker's own plan,
+    /// seeded per (slot, generation) via the Init frame.
+    std::optional<ChaosPlan> chaos_plan;
 
     std::uint64_t next_shard_id = 0;
     std::uint64_t commits = 0;  ///< batches committed this run
-    bool stopping = false;      ///< stop requested; drain and return
-    bool draining = false;      ///< Shutdown broadcast; no more restarts
+    std::uint64_t ping_seq = 0;
+    /// Recent batch-commit intervals across the fleet; the median is the
+    /// straggler detector's baseline.
+    std::deque<std::int64_t> batch_intervals_ms;
+    bool stopping = false;       ///< stop requested; drain and return
+    bool draining = false;       ///< Shutdown broadcast; no more restarts
+    bool partial_finish = false; ///< fleet exhausted under partial_ok
     bool ran = false;
 
     explicit Impl(JobSpec s, CoordinatorOptions o)
@@ -109,6 +170,8 @@ struct Coordinator::Impl {
         REFPGA_EXPECTS(options.worker_threads >= 1);
         REFPGA_EXPECTS(options.batch >= 1);
         REFPGA_EXPECTS(options.drain_timeout_ms >= 1);
+        REFPGA_EXPECTS(options.min_workers >= 1);
+        REFPGA_EXPECTS(options.restart_backoff_ms >= 0);
         REFPGA_EXPECTS(!options.spool_path.empty());
         job_json = spec.canonical_json();
         grid = spec.grid_size();
@@ -122,6 +185,8 @@ struct Coordinator::Impl {
         accumulator =
             std::make_unique<fleet::ReportAccumulator>(grid, options.spool_path);
         obs = make_svc_obs(options.recorder);
+        if (options.chaos.any())
+            chaos_plan.emplace(options.chaos, options.chaos_seed);
     }
 
     ~Impl() {
@@ -151,12 +216,30 @@ struct Coordinator::Impl {
         } else {
             checkpoint.emplace(options.checkpoint_path, fp, grid);
         }
+        checkpoint->set_fsync_every(options.checkpoint_fsync_every_n);
     }
 
     void seed_pending() {
         for (const IntervalSet::Interval& gap :
              accumulator->covered().missing(grid))
             pending.push_back(Range{gap.first, gap.last});
+    }
+
+    /// Init head line: the thread count, plus the worker's chaos schedule
+    /// when armed for this (slot, generation). Unarmed runs send exactly
+    /// the bytes the pre-chaos protocol sent.
+    [[nodiscard]] std::string init_payload(const WorkerProc& w) const {
+        std::string head = std::to_string(options.worker_threads);
+        if (options.chaos.any_worker() &&
+            (options.chaos.only_worker < 0 ||
+             options.chaos.only_worker == w.slot) &&
+            (w.generation == 0 || options.chaos_all_generations)) {
+            head += ' ' + encode_chaos(
+                              options.chaos,
+                              worker_chaos_seed(options.chaos_seed, w.slot,
+                                                w.generation));
+        }
+        return head + '\n' + job_json;
     }
 
     void spawn_worker(WorkerProc& w) {
@@ -208,14 +291,36 @@ struct Coordinator::Impl {
         w.alive = true;
         w.shard.reset();
         w.steal_pending = false;
-        write_frame(w.to_fd, MsgType::Init,
-                    encode_init(options.worker_threads, job_json));
+        w.restart_due_ms = -1;
+        w.pings_unanswered = 0;
+        w.last_heard_ms = w.last_progress_ms = w.last_ping_ms = now_ms();
+        try {
+            write_frame(w.to_fd, MsgType::Init, init_payload(w));
+        } catch (const WireError&) {
+            // The child died before the Init landed (a pre-init crash can
+            // beat this write). Leave it marked alive: its read end is
+            // already closed, so the next poll sees POLLHUP and takes the
+            // ordinary death path (requeue + restart budget) — handling it
+            // here would recurse spawn → write → spawn.
+        }
     }
 
     [[nodiscard]] int alive_workers() const {
         int n = 0;
         for (const WorkerProc& w : workers) n += w.alive ? 1 : 0;
         return n;
+    }
+
+    [[nodiscard]] bool restart_scheduled() const {
+        for (const WorkerProc& w : workers)
+            if (!w.alive && w.restart_due_ms >= 0) return true;
+        return false;
+    }
+
+    [[nodiscard]] bool restart_budget_left() const {
+        return options.restart_dead_workers &&
+               result.worker_restarts <
+                   static_cast<std::uint64_t>(options.max_worker_restarts);
     }
 
     void update_gauges() {
@@ -225,22 +330,33 @@ struct Coordinator::Impl {
         obs.rec->metrics().set(obs.workers, static_cast<double>(alive_workers()));
     }
 
+    void count(obs::MetricId id, double delta = 1.0) {
+        if (obs.rec != nullptr) obs.rec->metrics().add(id, delta);
+    }
+
     // --- dispatch ----------------------------------------------------------
 
     void assign_next(WorkerProc& w) {
         Range& range = pending.front();
-        const std::uint64_t count = std::min(options.shard, range.count());
-        const ShardState shard{next_shard_id++, range.first, range.first,
-                               range.first + count};
-        range.first += count;
-        if (range.count() == 0) pending.pop_front();
+        const std::uint64_t count_n = std::min(options.shard, range.count());
+        const ShardState shard{next_shard_id, range.first, range.first,
+                               range.first + count_n};
+        // The write goes first: it throws WireError when the worker is
+        // already dead (EPIPE), and at that point the range must still be
+        // intact in `pending` — carving it out before a failed write would
+        // leak it (not pending, not in any shard) and the run would wait
+        // forever for indices nobody owns.
         write_frame(w.to_fd, MsgType::Assign,
                     std::to_string(shard.id) + ' ' + std::to_string(shard.first) +
-                        ' ' + std::to_string(count) + ' ' +
+                        ' ' + std::to_string(count_n) + ' ' +
                         std::to_string(options.batch));
+        ++next_shard_id;
+        range.first += count_n;
+        if (range.count() == 0) pending.pop_front();
         w.shard = shard;
+        w.last_progress_ms = now_ms();
         ++result.shards_dispatched;
-        if (obs.rec != nullptr) obs.rec->metrics().add(obs.dispatched);
+        count(obs.dispatched);
     }
 
     /// Picks the busiest worker and asks it to give back the upper half of
@@ -269,6 +385,61 @@ struct Coordinator::Impl {
         }
     }
 
+    /// Speculative re-execution of a straggler's remainder: the exact-steal
+    /// handshake can't help when the remainder is too small to split or the
+    /// victim has stopped answering, so run a *copy* on an idle worker and
+    /// let first-commit-wins (enforced in commit_batch) settle it.
+    void try_speculate(std::int64_t now) {
+        if (options.straggler_factor <= 0.0) return;
+        WorkerProc* idle = nullptr;
+        for (WorkerProc& w : workers) {
+            if (w.steal_pending) return;  // settle the steal first
+            if (w.alive && !w.shard.has_value() && idle == nullptr) idle = &w;
+        }
+        if (idle == nullptr) return;
+        std::int64_t median = 0;
+        if (!batch_intervals_ms.empty()) {
+            std::vector<std::int64_t> s(batch_intervals_ms.begin(),
+                                        batch_intervals_ms.end());
+            std::nth_element(s.begin(),
+                             s.begin() + static_cast<std::ptrdiff_t>(s.size() / 2),
+                             s.end());
+            median = s[s.size() / 2];
+        }
+        const std::int64_t threshold = std::max<std::int64_t>(
+            options.straggler_min_ms,
+            std::llround(options.straggler_factor * static_cast<double>(median)));
+        for (WorkerProc& w : workers) {
+            if (!w.alive || !w.shard.has_value() || w.shard->speculated)
+                continue;
+            if (w.shard->next >= w.shard->end) continue;
+            if (now - w.last_progress_ms < threshold) continue;
+            const std::uint64_t first = w.shard->next;
+            const std::uint64_t count_n = w.shard->end - first;
+            const ShardState copy{next_shard_id++, first, first, w.shard->end};
+            try {
+                write_frame(idle->to_fd, MsgType::Assign,
+                            std::to_string(copy.id) + ' ' +
+                                std::to_string(first) + ' ' +
+                                std::to_string(count_n) + ' ' +
+                                std::to_string(options.batch));
+            } catch (const WireError&) {
+                on_worker_death(*idle, "write failed");
+                return;
+            }
+            idle->shard = copy;
+            idle->last_progress_ms = now;
+            w.shard->speculated = true;
+            ++result.speculations;
+            ++result.shards_dispatched;
+            count(obs.speculations);
+            count(obs.dispatched);
+            log_warning("svc: straggler in slot ", w.slot,
+                        "; speculating its remainder on slot ", idle->slot);
+            return;
+        }
+    }
+
     void dispatch() {
         for (WorkerProc& w : workers) {
             if (!w.alive || w.shard.has_value()) continue;
@@ -283,6 +454,7 @@ struct Coordinator::Impl {
             for (const WorkerProc& w : workers)
                 if (w.alive && !w.shard.has_value()) {
                     try_steal();
+                    try_speculate(now_ms());
                     break;
                 }
         }
@@ -304,17 +476,64 @@ struct Coordinator::Impl {
                 "batch [" + std::to_string(batch.first) + ", " +
                 std::to_string(batch.first + batch.lines.size()) +
                 ") does not continue shard " + std::to_string(shard.id));
-        accumulator->add_encoded(batch.first, batch.lines);
-        if (checkpoint.has_value()) {
-            checkpoint->append(batch.first, batch.lines);
-            ++result.checkpoint_records;
-            if (obs.rec != nullptr) obs.rec->metrics().add(obs.checkpoints);
+        // Speculation can race two workers over the same indices; whoever
+        // committed first won, so split this batch into its still-uncovered
+        // runs and commit exactly those. The common (unraced) case is one
+        // run spanning the whole batch — byte-identical to the direct path.
+        const std::size_t n = batch.lines.size();
+        std::size_t fresh = 0;
+        std::size_t i = 0;
+        while (i < n) {
+            if (accumulator->covered().contains(
+                    static_cast<std::size_t>(batch.first) + i)) {
+                ++i;
+                ++result.duplicates_discarded;
+                count(obs.dupes);
+                continue;
+            }
+            std::size_t j = i + 1;
+            while (j < n && !accumulator->covered().contains(
+                                static_cast<std::size_t>(batch.first) + j))
+                ++j;
+            const std::vector<std::string> run(
+                batch.lines.begin() + static_cast<std::ptrdiff_t>(i),
+                batch.lines.begin() + static_cast<std::ptrdiff_t>(j));
+            accumulator->add_encoded(batch.first + i, run);
+            fresh += run.size();
+            if (checkpoint.has_value()) {
+                if (chaos_plan.has_value()) {
+                    if (chaos_plan->crash_now(CrashPhase::PreCheckpoint)) {
+                        ++result.chaos_faults_injected;
+                        count(obs.chaos_injected);
+                        throw SimulatedCrash(
+                            "chaos: simulated coordinator crash before "
+                            "checkpoint append");
+                    }
+                    if (chaos_plan->tear_checkpoint_now()) {
+                        ++result.chaos_faults_injected;
+                        count(obs.chaos_injected);
+                        checkpoint->append_torn(
+                            batch.first + i, run,
+                            chaos_plan->spec().checkpoint_tear_bytes);
+                        throw SimulatedCrash(
+                            "chaos: checkpoint append torn mid-write");
+                    }
+                }
+                checkpoint->append(batch.first + i, run);
+                ++result.checkpoint_records;
+                count(obs.checkpoints);
+            }
+            i = j;
         }
-        shard.next = batch.first + batch.lines.size();
+        shard.next = batch.first + n;
         ++commits;
-        if (obs.rec != nullptr)
-            obs.rec->metrics().add(obs.committed,
-                                   static_cast<double>(batch.lines.size()));
+        const std::int64_t now = now_ms();
+        // Zero-ms intervals count: a fast fleet's median must stay low or
+        // the straggler threshold drifts toward the stragglers themselves.
+        batch_intervals_ms.push_back(now - w.last_progress_ms);
+        if (batch_intervals_ms.size() > 64) batch_intervals_ms.pop_front();
+        w.last_progress_ms = now;
+        if (fresh > 0) count(obs.committed, static_cast<double>(fresh));
         fire_commit_hooks();
     }
 
@@ -335,6 +554,8 @@ struct Coordinator::Impl {
     }
 
     void handle_frame(WorkerProc& w, const Frame& frame) {
+        w.last_heard_ms = now_ms();
+        w.pings_unanswered = 0;  // any complete frame proves the process runs
         switch (frame.type) {
             case MsgType::Batch:
                 commit_batch(w, parse_batch(frame.payload));
@@ -349,6 +570,7 @@ struct Coordinator::Impl {
                         "ShardDone at " + std::to_string(f[1]) +
                         " but commits reached " + std::to_string(w.shard->next));
                 w.shard.reset();
+                w.last_progress_ms = w.last_heard_ms;
                 return;
             }
             case MsgType::TruncateAck: {
@@ -363,10 +585,13 @@ struct Coordinator::Impl {
                 if (effective < w.steal_old_end) {
                     pending.push_back(Range{effective, w.steal_old_end});
                     ++result.shards_stolen;
-                    if (obs.rec != nullptr) obs.rec->metrics().add(obs.stolen);
+                    count(obs.stolen);
                 }
                 return;
             }
+            case MsgType::Pong:
+                (void)parse_fields(frame.payload, 1);
+                return;
             case MsgType::WorkerError:
                 throw CoordinatorError("worker reported: " + frame.payload);
             default:
@@ -378,12 +603,28 @@ struct Coordinator::Impl {
 
     // --- failure handling --------------------------------------------------
 
-    void on_worker_death(WorkerProc& w, const char* why) {
+    /// Backoff before the attempt-th respawn of a slot: exponential from the
+    /// base, capped, plus deterministic jitter derived from (fingerprint,
+    /// slot, attempt) so a fleet that died together does not refork in
+    /// lockstep — and so every run schedules identically.
+    [[nodiscard]] std::int64_t restart_delay_ms(int slot, int attempt) const {
+        const int shift = std::min(attempt - 1, 12);
+        std::int64_t delay = static_cast<std::int64_t>(options.restart_backoff_ms)
+                             << shift;
+        delay = std::min<std::int64_t>(delay, options.restart_backoff_cap_ms);
+        Rng jitter(worker_chaos_seed(spec.fingerprint(), slot, attempt));
+        delay += jitter.next_below(static_cast<std::uint32_t>(delay / 2 + 1));
+        return delay;
+    }
+
+    void on_worker_death(WorkerProc& w, const char* why,
+                         bool trust_stream = true) {
         if (!w.alive) return;
         // Whatever complete frames are already buffered commit normally; a
         // truncated trailing frame is the expected shape of a crash and is
-        // simply dropped with the reader.
-        drain_reader(w);
+        // simply dropped with the reader. A quarantined (corrupt) stream is
+        // not drained at all: nothing after the violation is trustworthy.
+        if (trust_stream) (void)drain_reader(w);
         w.alive = false;
         w.close_fds();
         if (w.pid > 0) {
@@ -398,33 +639,59 @@ struct Coordinator::Impl {
             if (w.shard->next < w.shard->end) {
                 pending.push_front(Range{w.shard->next, w.shard->end});
                 ++result.shards_reassigned;
-                if (obs.rec != nullptr) obs.rec->metrics().add(obs.reassigned);
+                count(obs.reassigned);
             }
             w.shard.reset();
         }
         log_warning("svc: worker died (", why, "); remainder requeued");
-        if (!stopping && !draining && options.restart_dead_workers &&
-            result.worker_restarts <
-                static_cast<std::uint64_t>(options.max_worker_restarts)) {
-            spawn_worker(w);
+        if (!stopping && !draining && restart_budget_left()) {
             ++result.worker_restarts;
-            if (obs.rec != nullptr) obs.rec->metrics().add(obs.restarts);
+            count(obs.restarts);
+            ++w.restart_attempts;
+            w.death_ms = now_ms();
+            if (options.restart_backoff_ms <= 0) {
+                ++w.generation;
+                spawn_worker(w);
+            } else {
+                w.restart_due_ms =
+                    w.death_ms + restart_delay_ms(w.slot, w.restart_attempts);
+            }
         }
     }
 
+    /// The stream from this worker is poisoned (corrupt frame, protocol
+    /// violation, undecodable outcome): everything already committed stands,
+    /// nothing further can be trusted. Kill the process and take the normal
+    /// death path (requeue + restart policy).
+    void quarantine(WorkerProc& w, const char* why) {
+        ++result.protocol_errors;
+        count(obs.protocol_errors);
+        if (w.pid > 0) ::kill(w.pid, SIGKILL);
+        on_worker_death(w, why, /*trust_stream=*/false);
+    }
+
     /// Extracts and handles every complete frame currently buffered.
-    void drain_reader(WorkerProc& w) {
+    /// Returns false when the stream turned out corrupt or protocol-
+    /// violating — the caller must quarantine the worker, or the reader
+    /// would sit on unparseable bytes forever while the worker counts as
+    /// alive.
+    [[nodiscard]] bool drain_reader(WorkerProc& w) {
         while (true) {
             std::optional<Frame> frame;
             try {
                 frame = w.reader.next();
+                if (!frame.has_value()) return true;
+                handle_frame(w, *frame);
             } catch (const WireError& e) {
-                // Corrupt prefix: everything after it is untrustworthy.
                 log_warning("svc: dropping worker stream: ", e.what());
-                return;
+                return false;
+            } catch (const CoordinatorError& e) {
+                log_warning("svc: protocol violation from worker: ", e.what());
+                return false;
+            } catch (const fleet::CodecError& e) {
+                log_warning("svc: undecodable batch from worker: ", e.what());
+                return false;
             }
-            if (!frame.has_value()) return;
-            handle_frame(w, *frame);
         }
     }
 
@@ -441,7 +708,75 @@ struct Coordinator::Impl {
             return;
         }
         w.reader.feed(buf, static_cast<std::size_t>(r));
-        drain_reader(w);
+        if (!drain_reader(w)) quarantine(w, "corrupt or violating stream");
+    }
+
+    // --- liveness ----------------------------------------------------------
+
+    /// Respawns slots whose backoff delay has expired.
+    void service_restarts(std::int64_t now) {
+        for (WorkerProc& w : workers) {
+            if (w.alive || w.restart_due_ms < 0) continue;
+            if (stopping || draining) {
+                w.restart_due_ms = -1;
+                continue;
+            }
+            if (now < w.restart_due_ms) continue;
+            w.restart_due_ms = -1;
+            ++w.generation;
+            spawn_worker(w);
+            count(obs.recovery_seconds,
+                  static_cast<double>(now - w.death_ms) / 1000.0);
+        }
+    }
+
+    void reap(WorkerProc& w, const char* why) {
+        if (w.pid > 0) ::kill(w.pid, SIGKILL);
+        on_worker_death(w, why);
+    }
+
+    void check_liveness(std::int64_t now) {
+        if (options.heartbeat_interval_ms <= 0 &&
+            options.progress_timeout_ms <= 0)
+            return;
+        for (WorkerProc& w : workers) {
+            if (!w.alive) continue;
+            if (options.heartbeat_interval_ms > 0) {
+                if (now - std::max(w.last_ping_ms, w.last_heard_ms) >=
+                    options.heartbeat_interval_ms) {
+                    if (w.pings_unanswered > 0) {
+                        ++result.heartbeat_misses;
+                        count(obs.hb_misses);
+                    }
+                    try {
+                        write_frame(w.to_fd, MsgType::Ping,
+                                    std::to_string(ping_seq++));
+                    } catch (const WireError&) {
+                        on_worker_death(w, "write failed");
+                        continue;
+                    }
+                    count(obs.pings);
+                    ++w.pings_unanswered;
+                    w.last_ping_ms = now;
+                }
+                if (options.liveness_timeout_ms > 0 &&
+                    w.pings_unanswered >= options.heartbeat_miss_limit &&
+                    now - w.last_heard_ms >= options.liveness_timeout_ms) {
+                    ++result.heartbeat_misses;
+                    ++result.liveness_kills;
+                    count(obs.hb_misses);
+                    count(obs.liveness_kills);
+                    reap(w, "liveness timeout: heartbeats unanswered");
+                    continue;
+                }
+            }
+            if (options.progress_timeout_ms > 0 && w.shard.has_value() &&
+                now - w.last_progress_ms >= options.progress_timeout_ms) {
+                ++result.deadline_kills;
+                count(obs.deadline_kills);
+                reap(w, "progress deadline exceeded");
+            }
+        }
     }
 
     // --- shutdown ----------------------------------------------------------
@@ -449,6 +784,7 @@ struct Coordinator::Impl {
     void broadcast_shutdown() {
         draining = true;
         for (WorkerProc& w : workers) {
+            w.restart_due_ms = -1;
             if (!w.alive) continue;
             try {
                 write_frame(w.to_fd, MsgType::Shutdown, "");
@@ -525,15 +861,33 @@ struct Coordinator::Impl {
                 stopping = true;
             if (accumulator->complete()) break;
             if (stopping) break;
+            const std::int64_t now = now_ms();
+            service_restarts(now);
+            check_liveness(now);
             dispatch();
             update_gauges();
 
-            // All work parked but nobody to run it: unrecoverable.
+            // All work parked but nobody to run it — and nobody scheduled to
+            // come back: the run cannot finish. Policy decides the ending.
             bool in_flight = false;
             for (const WorkerProc& w : workers)
                 in_flight = in_flight || (w.alive && w.shard.has_value());
-            if (!in_flight && alive_workers() == 0) {
+            const int alive = alive_workers();
+            if (!in_flight && alive == 0 && !restart_scheduled()) {
+                if (options.partial_ok) {
+                    partial_finish = true;
+                    return;
+                }
                 result.error = "all workers dead and restarts exhausted";
+                return;
+            }
+            if (alive < options.min_workers && !restart_scheduled() &&
+                !restart_budget_left() && !options.partial_ok) {
+                result.error =
+                    "alive workers (" + std::to_string(alive) +
+                    ") below min_workers (" +
+                    std::to_string(options.min_workers) +
+                    ") with the restart budget exhausted";
                 return;
             }
 
@@ -547,8 +901,24 @@ struct Coordinator::Impl {
             if (options.http != nullptr && options.http->listening())
                 fds.push_back({options.http->fd(), POLLIN, 0});
 
+            // Time-based policies are only evaluated when poll returns, so
+            // the timeout must undercut the shortest armed deadline — a
+            // straggler committing every 60ms would otherwise wake the loop
+            // itself and always be observed at gap ~0.
+            int timeout_ms = 100;
+            const auto tighten = [&](int ms) {
+                if (ms > 0) timeout_ms = std::min(timeout_ms, std::max(5, ms / 4));
+            };
+            if (options.heartbeat_interval_ms > 0)
+                tighten(options.heartbeat_interval_ms);
+            if (options.progress_timeout_ms > 0)
+                tighten(options.progress_timeout_ms);
+            if (options.straggler_factor > 0.0)
+                tighten(options.straggler_min_ms);
+            if (restart_scheduled()) tighten(options.restart_backoff_ms);
+
             const int rc =
-                ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+                ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
             if (rc < 0) {
                 if (errno == EINTR) continue;  // signal: loop re-checks stop
                 throw CoordinatorError(std::string("poll: ") +
@@ -563,6 +933,12 @@ struct Coordinator::Impl {
         }
     }
 
+    void finalize_counts() {
+        result.scenarios_committed = accumulator->committed();
+        result.failures = accumulator->failure_count();
+        result.max_retained_rows = accumulator->max_retained_rows();
+    }
+
     CoordinatorResult run() {
         REFPGA_EXPECTS(!ran);
         ran = true;
@@ -573,20 +949,48 @@ struct Coordinator::Impl {
         open_journal();
         seed_pending();
         workers.resize(static_cast<std::size_t>(options.workers));
-        for (WorkerProc& w : workers) spawn_worker(w);
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            workers[i].slot = static_cast<int>(i);
+            spawn_worker(workers[i]);
+        }
         update_gauges();
 
-        if (!accumulator->complete() && result.error.empty()) event_loop();
-
-        broadcast_shutdown();
-        drain_until_exit();
+        try {
+            if (!accumulator->complete() && result.error.empty()) event_loop();
+            broadcast_shutdown();
+            drain_until_exit();
+        } catch (const SimulatedCrash& e) {
+            // A real crash takes the whole process with it. The closest
+            // honest simulation kills the fleet outright and abandons the
+            // drain, so --resume has to recover from exactly what hit disk.
+            for (WorkerProc& w : workers) {
+                if (w.alive && w.pid > 0) ::kill(w.pid, SIGKILL);
+                w.close_fds();
+                if (w.pid > 0) {
+                    ::waitpid(w.pid, nullptr, 0);
+                    w.pid = -1;
+                }
+                w.alive = false;
+            }
+            result.error = e.what();
+            finalize_counts();
+            return result;
+        }
         update_gauges();
+        if (checkpoint.has_value() && options.checkpoint_fsync_every_n > 0)
+            checkpoint->sync();
 
         result.completed = accumulator->complete();
-        result.scenarios_committed = accumulator->committed();
-        result.failures = accumulator->failure_count();
-        result.max_retained_rows = accumulator->max_retained_rows();
-        if (!result.completed && result.error.empty())
+        finalize_counts();
+        if (result.completed) {
+            // Survivors finished the grid during the drain; a fail-fast
+            // verdict reached mid-loop is obsolete.
+            result.error.clear();
+        } else if (partial_finish && result.error.empty()) {
+            result.partial = true;
+            accumulator->mark_partial();
+        }
+        if (!result.completed && !result.partial && result.error.empty())
             result.error = stopping ? "stopped before completion"
                                     : "incomplete sweep";
         return result;

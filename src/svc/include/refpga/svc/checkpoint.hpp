@@ -54,6 +54,20 @@ public:
     /// scenario index `first`). Throws CheckpointError on I/O failure.
     void append(std::uint64_t first, const std::vector<std::string>& lines);
 
+    /// Chaos hook: writes only the first `bytes` of the record `append`
+    /// would have written — the on-disk shape of a crash mid-append. Never
+    /// counts as a record.
+    void append_torn(std::uint64_t first, const std::vector<std::string>& lines,
+                     std::size_t bytes);
+
+    /// Durability policy: fsync after every n-th append (0 = never, the
+    /// default — a torn tail is already recoverable; fsync buys power-loss
+    /// durability at measured cost). Coordinators also call sync() once
+    /// after the final record regardless of cadence when a policy is set.
+    void set_fsync_every(std::uint64_t n) { fsync_every_ = n; }
+    /// Flushes the journal to stable storage now. Throws CheckpointError.
+    void sync();
+
     [[nodiscard]] std::size_t records_written() const { return records_; }
 
 private:
@@ -63,6 +77,8 @@ private:
     std::string path_;
     int fd_ = -1;
     std::size_t records_ = 0;
+    std::uint64_t fsync_every_ = 0;
+    std::uint64_t appends_since_sync_ = 0;
 
 public:
     ~CheckpointWriter();

@@ -26,6 +26,7 @@
 
 #include "refpga/fleet/report_stream.hpp"
 #include "refpga/obs/obs.hpp"
+#include "refpga/svc/chaos.hpp"
 #include "refpga/svc/http.hpp"
 #include "refpga/svc/job.hpp"
 
@@ -64,6 +65,63 @@ struct CoordinatorOptions {
     /// per run; its in-flight range is requeued either way.
     bool restart_dead_workers = true;
     int max_worker_restarts = 2;
+
+    /// Restart backoff: the k-th restart of a slot waits
+    /// min(cap, base << (k-1)) + jitter milliseconds, jitter deterministic
+    /// from (job fingerprint, slot, attempt). 0 = restart immediately (the
+    /// pre-liveness behavior, and what keeps clean-path timing identical).
+    int restart_backoff_ms = 0;
+    int restart_backoff_cap_ms = 5000;
+
+    // --- liveness policy (all off by default: a default-constructed run is
+    // frame-for-frame identical to one that predates the liveness layer;
+    // campaignd turns these on) ------------------------------------------
+    /// Ping each worker after this many ms without hearing a frame from it
+    /// (0 = no heartbeats).
+    int heartbeat_interval_ms = 0;
+    /// Reap a worker (SIGKILL + requeue + restart policy) once this many
+    /// pings went unanswered AND liveness_timeout_ms of total silence
+    /// passed. Both gates, so a worker mid-batch — which can only answer at
+    /// a batch boundary — is not shot for computing.
+    int heartbeat_miss_limit = 3;
+    int liveness_timeout_ms = 10000;
+    /// Reap a worker holding a shard that has not committed anything for
+    /// this long (0 = no progress deadline). Catches a worker that answers
+    /// pings but computes nothing.
+    int progress_timeout_ms = 0;
+
+    /// Straggler speculation: when the pending queue is empty, a worker sits
+    /// idle, and stealing is not viable, re-assign the remainder of a shard
+    /// whose owner has gone straggler_factor × the fleet's median
+    /// batch-commit interval (and at least straggler_min_ms) without
+    /// progress. First valid result wins; the loser's duplicate commits are
+    /// discarded exactly. 0 = disabled.
+    double straggler_factor = 0.0;
+    int straggler_min_ms = 1000;
+
+    /// Fail the run once the alive fleet drops below this and the restart
+    /// budget cannot restore it (unless partial_ok). 1 = complete on any
+    /// surviving worker, the pre-liveness behavior.
+    int min_workers = 1;
+    /// When every worker is gone and restarts are exhausted, finish with
+    /// whatever committed and mark the report (and result) partial instead
+    /// of failing.
+    bool partial_ok = false;
+
+    /// Checkpoint durability policy: fsync the journal every n-th append
+    /// and once after the final record (0 = never fsync; a torn tail is
+    /// recoverable either way, fsync adds power-loss durability).
+    std::uint64_t checkpoint_fsync_every_n = 0;
+
+    // --- chaos (tests/CI/benches; a default ChaosSpec injects nothing and
+    // leaves every wire byte identical to an unarmed build) ---------------
+    ChaosSpec chaos;
+    std::uint64_t chaos_seed = 1;
+    /// Arm worker-side chaos only in each slot's first process generation
+    /// (default), so a restarted worker runs clean and recovery can be
+    /// proven byte-identical. True re-arms every generation — the
+    /// persistent-fault world the partial/fail-fast policies exist for.
+    bool chaos_all_generations = false;
 
     /// Milliseconds of poll silence after Shutdown before a worker is
     /// presumed wedged. The first expiry sends SIGTERM (a batch that is
@@ -106,6 +164,9 @@ struct CoordinatorOptions {
 
 struct CoordinatorResult {
     bool completed = false;       ///< full grid committed
+    /// Run ended with workers exhausted under partial_ok: the report renders
+    /// what committed, explicitly marked partial with its missing ranges.
+    bool partial = false;
     std::string error;            ///< set when the run ended abnormally
     std::size_t scenarios_committed = 0;
     std::size_t scenarios_resumed = 0;  ///< committed via journal replay
@@ -116,6 +177,15 @@ struct CoordinatorResult {
     std::uint64_t worker_restarts = 0;
     std::uint64_t checkpoint_records = 0;
     std::size_t max_retained_rows = 0;  ///< memory bound: peak decoded rows
+
+    // --- liveness layer ----------------------------------------------------
+    std::uint64_t heartbeat_misses = 0;   ///< pings that expired unanswered
+    std::uint64_t liveness_kills = 0;     ///< reaped: heartbeat silence
+    std::uint64_t deadline_kills = 0;     ///< reaped: progress deadline
+    std::uint64_t speculations = 0;       ///< straggler ranges re-assigned
+    std::uint64_t duplicates_discarded = 0;  ///< outcome lines dropped as dupes
+    std::uint64_t protocol_errors = 0;    ///< corrupt streams quarantined
+    std::uint64_t chaos_faults_injected = 0;  ///< coordinator-side injections
 };
 
 class Coordinator {

@@ -43,6 +43,8 @@ enum class MsgType : std::uint8_t {
     ShardDone,    ///< worker→coordinator: "shard end"
     TruncateAck,  ///< worker→coordinator: "shard effective_end"
     WorkerError,  ///< worker→coordinator: fatal error text
+    Ping,         ///< coordinator→worker: "seq" liveness probe
+    Pong,         ///< worker→coordinator: "seq" echoed back
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);

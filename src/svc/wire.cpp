@@ -16,6 +16,8 @@ const char* msg_type_name(MsgType type) {
         case MsgType::ShardDone: return "ShardDone";
         case MsgType::TruncateAck: return "TruncateAck";
         case MsgType::WorkerError: return "WorkerError";
+        case MsgType::Ping: return "Ping";
+        case MsgType::Pong: return "Pong";
     }
     return "?";
 }
@@ -65,7 +67,7 @@ void check_header(std::uint32_t length, std::uint8_t type) {
                         " bytes exceeds the " + std::to_string(kMaxFramePayload) +
                         " byte limit (corrupt length prefix?)");
     if (type < static_cast<std::uint8_t>(MsgType::Init) ||
-        type > static_cast<std::uint8_t>(MsgType::WorkerError))
+        type > static_cast<std::uint8_t>(MsgType::Pong))
         throw WireError("unknown frame type " + std::to_string(type));
 }
 

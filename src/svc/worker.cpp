@@ -1,6 +1,7 @@
 #include "refpga/svc/worker.hpp"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <optional>
@@ -8,9 +9,11 @@
 #include <vector>
 
 #include <poll.h>
+#include <unistd.h>
 
 #include "refpga/fleet/campaign.hpp"
 #include "refpga/fleet/outcome_codec.hpp"
+#include "refpga/svc/chaos.hpp"
 #include "refpga/svc/job.hpp"
 #include "refpga/svc/wire.hpp"
 
@@ -50,6 +53,9 @@ public:
             return 0;
         } catch (const std::exception& e) {
             try {
+                // Error reporting bypasses the chaos wrapper: a worker dying
+                // of injected chaos already exercised the failure path; its
+                // last words should stay trustworthy.
                 write_frame(out_fd_, MsgType::WorkerError, e.what());
             } catch (...) {
                 // Pipe to the coordinator is gone; exit code says it all.
@@ -59,6 +65,21 @@ public:
     }
 
 private:
+    /// All protocol writes go through here so the chaos plan (when armed)
+    /// can tear, corrupt, delay or drop them. A torn write simulates death
+    /// mid-write: the process exits immediately, leaving the partial frame.
+    void send(MsgType type, const std::string& payload) {
+        if (!chaos_.has_value() || !chaos_->armed()) {
+            write_frame(out_fd_, type, payload);
+            return;
+        }
+        const WireAction action =
+            chaos_->next_wire_action(5 + payload.size(), payload.size());
+        if (!apply_wire_action(action, out_fd_,
+                               static_cast<std::uint8_t>(type), payload))
+            _exit(9);
+    }
+
     void loop() {
         Frame frame;
         while (true) {
@@ -87,10 +108,11 @@ private:
                 const std::size_t eol = frame.payload.find('\n');
                 if (eol == std::string::npos)
                     throw WireError("Init payload missing thread-count line");
-                const auto threads = parse_fields(frame.payload.substr(0, eol), 1);
+                parse_init_line(frame.payload.substr(0, eol));
+                if (chaos_.has_value() && chaos_->crash_now(CrashPhase::PreInit))
+                    _exit(9);
                 spec_ = JobSpec::from_json(frame.payload.substr(eol + 1));
                 scenarios_ = spec_.expand();
-                options_.threads = static_cast<int>(threads[0]);
                 options_.stream_block_ticks = spec_.stream_block_ticks;
                 return true;
             }
@@ -114,10 +136,19 @@ private:
                     current_->end = std::min(current_->end, effective);
                     if (current_->next >= current_->end) finish_shard();
                 }
-                write_frame(out_fd_, MsgType::TruncateAck,
-                            std::to_string(f[0]) + ' ' + std::to_string(effective));
+                if (chaos_.has_value() &&
+                    chaos_->crash_now(CrashPhase::PreTruncateAck))
+                    _exit(9);
+                send(MsgType::TruncateAck,
+                     std::to_string(f[0]) + ' ' + std::to_string(effective));
                 return true;
             }
+            case MsgType::Ping:
+                // Liveness probe: answer immediately. A busy worker only
+                // sees this at a batch boundary, which is exactly the
+                // granularity at which it can credibly claim to be alive.
+                send(MsgType::Pong, frame.payload);
+                return true;
             case MsgType::Shutdown:
                 return false;
             default:
@@ -126,7 +157,35 @@ private:
         }
     }
 
+    /// First Init line: "<threads>" or "<threads> chaos <seed> <fields...>".
+    void parse_init_line(const std::string& line) {
+        const std::size_t space = line.find(' ');
+        const std::string threads_tok = line.substr(0, space);
+        const auto threads = parse_fields(threads_tok, 1);
+        options_.threads = static_cast<int>(threads[0]);
+        if (space == std::string::npos) return;
+        std::string rest = line.substr(space + 1);
+        constexpr std::string_view kw = "chaos ";
+        if (rest.compare(0, kw.size(), kw) != 0)
+            throw WireError("malformed Init option line '" + rest + "'");
+        try {
+            const auto [spec, seed] = parse_chaos(rest.substr(kw.size()));
+            chaos_.emplace(spec, seed);
+        } catch (const std::exception& e) {
+            throw WireError(std::string("bad Init chaos config: ") + e.what());
+        }
+    }
+
     void run_batch() {
+        if (chaos_.has_value()) {
+            if (chaos_->next_hang()) {
+                // Wedge exactly like a stuck process: stop draining stdin,
+                // stop producing. Only a signal ends this.
+                for (;;) ::pause();
+            }
+            if (chaos_->next_slow())
+                ::poll(nullptr, 0, chaos_->spec().slow_ms);
+        }
         Shard& shard = *current_;
         const std::uint64_t count =
             std::min<std::uint64_t>(shard.batch, shard.end - shard.next);
@@ -144,21 +203,21 @@ private:
                 std::to_string(result.outcomes.size()) + " outcomes for " +
                 std::to_string(slice.size()) + " scenarios in shard " +
                 std::to_string(shard.id));
+        if (chaos_.has_value() && chaos_->crash_now(CrashPhase::MidBatch))
+            _exit(9);  // the computed batch dies with us
 
         std::vector<std::string> lines;
         lines.reserve(result.outcomes.size());
         for (const fleet::ScenarioOutcome& o : result.outcomes)
             lines.push_back(fleet::encode_outcome_line(o));
-        write_frame(out_fd_, MsgType::Batch,
-                    encode_batch(shard.id, shard.next, lines));
+        send(MsgType::Batch, encode_batch(shard.id, shard.next, lines));
         shard.next += count;
         if (shard.next >= shard.end) finish_shard();
     }
 
     void finish_shard() {
-        write_frame(out_fd_, MsgType::ShardDone,
-                    std::to_string(current_->id) + ' ' +
-                        std::to_string(current_->end));
+        send(MsgType::ShardDone, std::to_string(current_->id) + ' ' +
+                                     std::to_string(current_->end));
         current_.reset();
     }
 
@@ -168,10 +227,17 @@ private:
     std::vector<fleet::Scenario> scenarios_;
     fleet::CampaignOptions options_;
     std::optional<Shard> current_;
+    std::optional<ChaosPlan> chaos_;
 };
 
 }  // namespace
 
-int worker_main(int in_fd, int out_fd) { return Worker(in_fd, out_fd).run(); }
+int worker_main(int in_fd, int out_fd) {
+    // A coordinator that died (or quarantined this worker) closes our pipe;
+    // the resulting EPIPE must surface as a WireError return path, not
+    // SIGPIPE process death with no WorkerError frame.
+    ::signal(SIGPIPE, SIG_IGN);
+    return Worker(in_fd, out_fd).run();
+}
 
 }  // namespace refpga::svc

@@ -183,6 +183,41 @@ TEST(ReportStream, DuplicateCommitIsRejected) {
                  ContractViolation);
 }
 
+TEST(ReportStream, MarkPartialRendersExpectedCountAndMissingRanges) {
+    const CampaignResult result = run_reference(plain_sweep());
+    ASSERT_GE(result.outcomes.size(), 8u);
+
+    // Commit [0, 3) and [5, 7) of an 8-scenario expectation, then declare
+    // the run partial: both renderings must carry the expected count and the
+    // exact gaps, so a degraded report can never pass for a complete one.
+    ReportAccumulator acc(8, temp_spool("partial"));
+    acc.add(0, {result.outcomes.begin(), result.outcomes.begin() + 3});
+    acc.add(5, {result.outcomes.begin() + 5, result.outcomes.begin() + 7});
+    ASSERT_FALSE(acc.complete());
+    EXPECT_FALSE(acc.is_partial());
+    acc.mark_partial();
+    ASSERT_TRUE(acc.is_partial());
+
+    const std::string text = acc.render_text();
+    EXPECT_NE(text.find("campaign: 5 scenarios"), std::string::npos);
+    EXPECT_NE(
+        text.find("partial: 5/8 scenarios committed; missing: [3, 5) [7, 8)\n"),
+        std::string::npos);
+    const std::string json = acc.render_json();
+    EXPECT_NE(
+        json.find("\"partial\":{\"expected_count\":8,"
+                  "\"missing_ranges\":[[3,5],[7,8]]}"),
+        std::string::npos);
+}
+
+TEST(ReportStream, UnmarkedIncompleteAccumulatorOmitsPartialAnnotations) {
+    const CampaignResult result = run_reference(plain_sweep());
+    ReportAccumulator acc(8, temp_spool("nopartial"));
+    acc.add(0, {result.outcomes.begin(), result.outcomes.begin() + 3});
+    EXPECT_EQ(acc.render_text().find("partial:"), std::string::npos);
+    EXPECT_EQ(acc.render_json().find("\"partial\""), std::string::npos);
+}
+
 // The memory bound must hold for sweeps far larger than anything a test can
 // afford to execute, so this one synthesizes outcomes instead of running
 // them: 5000 scenarios committed in 64-row batches never retain more than

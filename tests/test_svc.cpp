@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 #include "refpga/fleet/campaign.hpp"
 #include "refpga/fleet/outcome_codec.hpp"
 #include "refpga/fleet/report.hpp"
+#include "refpga/svc/chaos.hpp"
 #include "refpga/svc/checkpoint.hpp"
 #include "refpga/svc/coordinator.hpp"
 #include "refpga/svc/http.hpp"
@@ -341,6 +343,252 @@ TEST(Checkpoint, CorruptJournalsFailLoudly) {
     EXPECT_NO_THROW((void)load_checkpoint(path, 0x1234, 10));
 }
 
+TEST(Checkpoint, TearAtEveryByteOffsetLoadsOrFailsThenResumes) {
+    const std::string path = temp_path("ckpt_offsets");
+    {
+        CheckpointWriter writer(path, 0xabcd, 10);
+        writer.set_fsync_every(1);  // durability policy: sync every append
+        writer.append(0, sample_lines(0, 3));
+        writer.append(3, sample_lines(3, 2));
+        writer.sync();
+        EXPECT_EQ(writer.records_written(), 2u);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream all;
+    all << in.rdbuf();
+    in.close();
+    const std::string full = all.str();
+    const std::size_t header_end = full.find('\n') + 1;
+    ASSERT_GT(header_end, 1u);
+
+    // A crash can land at any byte. For every prefix of the journal: a cut
+    // inside the header is hard corruption; any later cut must load as a
+    // valid prefix (complete records kept, the torn tail dropped), and a
+    // resume against that prefix must truncate the tear and stay appendable.
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out << full.substr(0, cut);
+        }
+        if (cut < header_end) {
+            EXPECT_THROW((void)load_checkpoint(path, 0xabcd, 10),
+                         CheckpointError)
+                << "cut=" << cut;
+            continue;
+        }
+        CheckpointContents contents;
+        ASSERT_NO_THROW(contents = load_checkpoint(path, 0xabcd, 10))
+            << "cut=" << cut;
+        EXPECT_LE(contents.batches.size(), 2u);
+        {
+            CheckpointWriter writer = CheckpointWriter::resume(path, 0xabcd, 10);
+            writer.append(8, sample_lines(8, 1));
+        }
+        const CheckpointContents again = load_checkpoint(path, 0xabcd, 10);
+        EXPECT_FALSE(again.torn_tail) << "cut=" << cut;
+        ASSERT_EQ(again.batches.size(), contents.batches.size() + 1)
+            << "cut=" << cut;
+        EXPECT_EQ(again.batches.back().first, 8u);
+    }
+}
+
+// ---------------------------------------------------------------- chaos
+
+TEST(Chaos, SameSeedInjectsIdenticalTrace) {
+    ChaosSpec spec;
+    spec.torn_frame_prob = 0.2;
+    spec.corrupt_length_prob = 0.1;
+    spec.corrupt_payload_prob = 0.1;
+    spec.drop_frame_prob = 0.15;
+    spec.delay_frame_prob = 0.15;
+    spec.hang_prob = 0.0;
+    spec.slow_batch_prob = 0.3;
+
+    ChaosPlan a(spec, 42);
+    ChaosPlan b(spec, 42);
+    for (int i = 0; i < 200; ++i) {
+        const WireAction wa = a.next_wire_action(64, 59);
+        const WireAction wb = b.next_wire_action(64, 59);
+        EXPECT_EQ(static_cast<int>(wa.kind), static_cast<int>(wb.kind));
+        EXPECT_EQ(wa.cut, wb.cut);
+        EXPECT_EQ(wa.offset, wb.offset);
+        EXPECT_EQ(a.next_slow(), b.next_slow());
+    }
+    EXPECT_GT(a.stats().total(), 0u) << "nothing fired in 200 frames";
+    EXPECT_EQ(a.trace(), b.trace());
+
+    // A different seed must produce a different schedule.
+    ChaosPlan c(spec, 43);
+    for (int i = 0; i < 200; ++i) {
+        (void)c.next_wire_action(64, 59);
+        (void)c.next_slow();
+    }
+    EXPECT_NE(a.trace(), c.trace());
+}
+
+TEST(Chaos, CategoryStreamsAreIndependent) {
+    // The drop schedule must be byte-identical whether or not the delay
+    // category is also armed: every category draws from its own stream and
+    // draws exactly once per frame regardless of what fires.
+    ChaosSpec drops_only;
+    drops_only.drop_frame_prob = 0.3;
+    ChaosSpec drops_and_delays = drops_only;
+    drops_and_delays.delay_frame_prob = 0.5;
+
+    ChaosPlan a(drops_only, 7);
+    ChaosPlan b(drops_and_delays, 7);
+    std::vector<int> drop_frames_a;
+    std::vector<int> drop_frames_b;
+    for (int i = 0; i < 300; ++i) {
+        if (a.next_wire_action(32, 27).kind == WireAction::Kind::Drop)
+            drop_frames_a.push_back(i);
+        if (b.next_wire_action(32, 27).kind == WireAction::Kind::Drop)
+            drop_frames_b.push_back(i);
+    }
+    EXPECT_FALSE(drop_frames_a.empty());
+    EXPECT_EQ(drop_frames_a, drop_frames_b);
+    EXPECT_GT(b.stats().delayed_frames, 0u);
+}
+
+TEST(Chaos, EveryCategoryFiresAndIsCounted) {
+    {
+        ChaosSpec spec;
+        spec.torn_frame_prob = 1.0;
+        ChaosPlan plan(spec, 1);
+        const WireAction action = plan.next_wire_action(16, 11);
+        EXPECT_EQ(action.kind, WireAction::Kind::Torn);
+        EXPECT_GE(action.cut, 1u);
+        EXPECT_LT(action.cut, 16u);
+        EXPECT_EQ(plan.stats().torn_frames, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.corrupt_length_prob = 1.0;
+        ChaosPlan plan(spec, 1);
+        EXPECT_EQ(plan.next_wire_action(16, 11).kind,
+                  WireAction::Kind::CorruptLength);
+        EXPECT_EQ(plan.stats().corrupt_lengths, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.corrupt_payload_prob = 1.0;
+        ChaosPlan plan(spec, 1);
+        const WireAction action = plan.next_wire_action(16, 11);
+        EXPECT_EQ(action.kind, WireAction::Kind::CorruptPayload);
+        EXPECT_LT(action.offset, 8u);
+        EXPECT_EQ(plan.stats().corrupt_payloads, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.drop_frame_prob = 1.0;
+        ChaosPlan plan(spec, 1);
+        EXPECT_EQ(plan.next_wire_action(16, 11).kind, WireAction::Kind::Drop);
+        EXPECT_EQ(plan.stats().dropped_frames, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.delay_frame_prob = 1.0;
+        spec.delay_ms = 1;
+        ChaosPlan plan(spec, 1);
+        EXPECT_EQ(plan.next_wire_action(16, 11).kind, WireAction::Kind::Delay);
+        EXPECT_EQ(plan.stats().delayed_frames, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.hang_prob = 1.0;
+        spec.slow_batch_prob = 1.0;
+        ChaosPlan plan(spec, 1);
+        EXPECT_TRUE(plan.next_hang());
+        EXPECT_TRUE(plan.next_slow());
+        EXPECT_EQ(plan.stats().hangs, 1u);
+        EXPECT_EQ(plan.stats().slow_batches, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.crash_phase = CrashPhase::MidBatch;
+        spec.crash_after = 3;
+        ChaosPlan plan(spec, 1);
+        EXPECT_FALSE(plan.crash_now(CrashPhase::PreInit));  // wrong phase
+        EXPECT_FALSE(plan.crash_now(CrashPhase::MidBatch));  // opportunity 1
+        EXPECT_FALSE(plan.crash_now(CrashPhase::MidBatch));  // opportunity 2
+        EXPECT_TRUE(plan.crash_now(CrashPhase::MidBatch));   // opportunity 3
+        EXPECT_EQ(plan.stats().crashes, 1u);
+    }
+    {
+        ChaosSpec spec;
+        spec.checkpoint_tear_after = 2;
+        ChaosPlan plan(spec, 1);
+        EXPECT_FALSE(plan.tear_checkpoint_now());
+        EXPECT_TRUE(plan.tear_checkpoint_now());
+        EXPECT_EQ(plan.stats().checkpoint_tears, 1u);
+    }
+}
+
+TEST(Chaos, DisarmedPlanInjectsNothing) {
+    ChaosPlan plan(ChaosSpec{}, 99);
+    EXPECT_FALSE(plan.armed());
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(plan.next_wire_action(16, 11).kind, WireAction::Kind::None);
+        EXPECT_FALSE(plan.next_hang());
+        EXPECT_FALSE(plan.next_slow());
+        EXPECT_FALSE(plan.crash_now(CrashPhase::MidBatch));
+        EXPECT_FALSE(plan.tear_checkpoint_now());
+    }
+    EXPECT_EQ(plan.stats().total(), 0u);
+    EXPECT_TRUE(plan.trace().empty());
+}
+
+TEST(Chaos, EncodeParseRoundTripsExactly) {
+    ChaosSpec spec;
+    spec.torn_frame_prob = 0.1;  // not exactly representable: hexfloat must
+    spec.corrupt_length_prob = 0.25;  // round-trip bit-exactly anyway
+    spec.corrupt_payload_prob = 1.0 / 3.0;
+    spec.delay_frame_prob = 0.05;
+    spec.delay_ms = 7;
+    spec.drop_frame_prob = 0.9;
+    spec.hang_prob = 0.125;
+    spec.slow_batch_prob = 1e-9;
+    spec.slow_ms = 33;
+    spec.crash_phase = CrashPhase::PreTruncateAck;
+    spec.crash_after = 5;
+
+    const std::string encoded = encode_chaos(spec, 0xfeedULL);
+    ASSERT_EQ(encoded.compare(0, 6, "chaos "), 0);
+    const auto [back, seed] = parse_chaos(encoded.substr(6));
+    EXPECT_EQ(seed, 0xfeedULL);
+    EXPECT_EQ(back.torn_frame_prob, spec.torn_frame_prob);
+    EXPECT_EQ(back.corrupt_length_prob, spec.corrupt_length_prob);
+    EXPECT_EQ(back.corrupt_payload_prob, spec.corrupt_payload_prob);
+    EXPECT_EQ(back.delay_frame_prob, spec.delay_frame_prob);
+    EXPECT_EQ(back.delay_ms, spec.delay_ms);
+    EXPECT_EQ(back.drop_frame_prob, spec.drop_frame_prob);
+    EXPECT_EQ(back.hang_prob, spec.hang_prob);
+    EXPECT_EQ(back.slow_batch_prob, spec.slow_batch_prob);
+    EXPECT_EQ(back.slow_ms, spec.slow_ms);
+    EXPECT_EQ(back.crash_phase, spec.crash_phase);
+    EXPECT_EQ(back.crash_after, spec.crash_after);
+
+    // Same (spec, seed) on both sides of the wire: same injected trace.
+    ChaosPlan local(spec, seed);
+    ChaosPlan remote(back, seed);
+    for (int i = 0; i < 64; ++i) {
+        const WireAction a = local.next_wire_action(40, 35);
+        const WireAction b = remote.next_wire_action(40, 35);
+        EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+    }
+    EXPECT_EQ(local.trace(), remote.trace());
+
+    EXPECT_TRUE(encode_chaos(ChaosSpec{}, 1).empty())
+        << "an unarmed spec must keep the Init line chaos-free";
+    EXPECT_THROW((void)parse_chaos("1 2 3"), std::runtime_error);
+    EXPECT_THROW((void)parse_chaos("x 0 0 0 0 2 0 0 0 20 none 1"),
+                 std::runtime_error);
+
+    // Per-worker derived seeds must differ across slots and generations.
+    EXPECT_NE(worker_chaos_seed(1, 0, 0), worker_chaos_seed(1, 1, 0));
+    EXPECT_NE(worker_chaos_seed(1, 0, 0), worker_chaos_seed(1, 0, 1));
+}
+
 // ---------------------------------------------------------------- worker
 
 struct WorkerHandle {
@@ -441,6 +689,37 @@ TEST(Worker, AcksNothingStolenForUnknownShard) {
     ASSERT_EQ(frame.type, MsgType::TruncateAck);
     EXPECT_EQ(parse_fields(frame.payload, 2)[1], kNothingStolen);
     write_frame(w.to, MsgType::Shutdown, "");
+}
+
+TEST(Worker, AnswersPingWithEchoedPong) {
+    WorkerHandle w;
+    spawn_worker(w);
+    write_frame(w.to, MsgType::Init,
+                encode_init(1, small_spec().canonical_json()));
+    write_frame(w.to, MsgType::Ping, "1729");
+    Frame frame;
+    ASSERT_TRUE(read_frame(w.from, frame));
+    EXPECT_EQ(frame.type, MsgType::Pong);
+    EXPECT_EQ(frame.payload, "1729");
+    write_frame(w.to, MsgType::Shutdown, "");
+}
+
+TEST(Worker, ChaosCrashPreInitDiesBeforeAnyFrame) {
+    WorkerHandle w;
+    spawn_worker(w);
+    ChaosSpec chaos;
+    chaos.crash_phase = CrashPhase::PreInit;
+    const std::string head = "1 " + encode_chaos(chaos, 5);
+    write_frame(w.to, MsgType::Init,
+                head + '\n' + small_spec().canonical_json());
+    Frame frame;
+    EXPECT_FALSE(read_frame(w.from, frame))
+        << "a pre-Init crash must close the pipe without producing";
+    int status = 0;
+    ASSERT_EQ(::waitpid(w.pid, &status, 0), w.pid);
+    w.pid = -1;
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 9) << "chaos deaths exit with code 9";
 }
 
 // ---------------------------------------------------------------- http
@@ -620,6 +899,317 @@ TEST(Coordinator, StopCheckpointResumeCompletesWithoutRecomputing) {
     options.spool_path = temp_path("resume_spool_c");
     Coordinator coordinator(other, options);
     EXPECT_THROW((void)coordinator.run(), CheckpointError);
+}
+
+// ---------------------------------------------------------------- e2e chaos
+
+JobSpec chaos_spec() {
+    JobSpec spec = small_spec();
+    spec.noise_levels = {1e-3, 5e-3};  // 16 scenarios
+    return spec;
+}
+
+// Multiplier for every liveness tolerance below. Sanitizer builds (and
+// heavily loaded CI runners) slow scenario compute 10-20x, which would push
+// healthy workers past reap windows tuned for a plain build and exhaust the
+// restart budget on workers that were never faulty. The injected faults
+// themselves (an infinite hang, a crash) don't need scaling — only the
+// windows that separate "slow" from "dead", and the slow-batch delay that
+// must stay distinguishable from ambient slowness. The CI TSan job exports
+// REFPGA_TEST_TIME_SCALE=20.
+int time_scale() {
+    static const int scale = [] {
+        const char* raw = std::getenv("REFPGA_TEST_TIME_SCALE");
+        const int value = (raw != nullptr) ? std::atoi(raw) : 1;
+        return value > 1 ? value : 1;
+    }();
+    return scale;
+}
+
+TEST(Coordinator, HeartbeatReapsHungWorkerWithIdenticalReport) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.spool_path = temp_path("hang_spool");
+    options.chaos.hang_prob = 1.0;  // slot 0 wedges at its first batch
+    options.chaos.only_worker = 0;
+    options.chaos_seed = 11;
+    options.heartbeat_interval_ms = 25 * time_scale();
+    options.heartbeat_miss_limit = 2;
+    options.liveness_timeout_ms = 120 * time_scale();
+    options.max_worker_restarts = 2;
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GE(result.heartbeat_misses, 1u);
+    EXPECT_GE(result.liveness_kills, 1u);
+    EXPECT_GE(result.worker_restarts, 1u)
+        << "the reaped slot must have been restarted (clean) to finish";
+    EXPECT_EQ(coordinator.report().render_text(), want_text);
+    EXPECT_EQ(coordinator.report().render_json(), want_json);
+}
+
+TEST(Coordinator, ProgressDeadlineReapsSilentShardHolder) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    // No heartbeats at all: the progress deadline alone must catch a worker
+    // that holds a shard and commits nothing.
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.spool_path = temp_path("deadline_spool");
+    options.chaos.hang_prob = 1.0;
+    options.chaos.only_worker = 0;
+    options.chaos_seed = 12;
+    options.progress_timeout_ms = 100 * time_scale();
+    options.max_worker_restarts = 2;
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GE(result.deadline_kills, 1u);
+    EXPECT_EQ(result.liveness_kills, 0u);
+    EXPECT_EQ(coordinator.report().render_text(), want_text);
+    EXPECT_EQ(coordinator.report().render_json(), want_json);
+}
+
+TEST(Coordinator, CrashPhasesRecoverThroughBackoffRestarts) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    for (const CrashPhase phase : {CrashPhase::PreInit, CrashPhase::MidBatch}) {
+        SCOPED_TRACE(crash_phase_name(phase));
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.spool_path = temp_path("crash_spool");
+        options.chaos.crash_phase = phase;  // every slot dies once (gen 0)
+        options.chaos.crash_after = 1;
+        options.chaos_seed = 13;
+        options.restart_backoff_ms = 1;  // exercise the scheduled-restart path
+        options.restart_backoff_cap_ms = 20;
+        options.max_worker_restarts = 2;
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_EQ(result.worker_restarts, 2u);
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
+}
+
+TEST(Coordinator, QuarantinesCorruptStreamsAndRecovers) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    struct Case {
+        const char* name;
+        double ChaosSpec::*prob;
+        bool counts_protocol_error;
+    };
+    // A torn frame is a clean death (EOF mid-frame, dropped silently); the
+    // two corruptions poison the stream and must go through quarantine.
+    const Case cases[] = {
+        {"torn", &ChaosSpec::torn_frame_prob, false},
+        {"corrupt-length", &ChaosSpec::corrupt_length_prob, true},
+        {"corrupt-payload", &ChaosSpec::corrupt_payload_prob, true},
+    };
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.name);
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.spool_path = temp_path("corrupt_spool");
+        options.chaos.*(c.prob) = 1.0;  // every slot-0 gen-0 frame affected
+        options.chaos.only_worker = 0;
+        options.chaos_seed = 14;
+        options.max_worker_restarts = 2;
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_GE(result.worker_restarts, 1u);
+        if (c.counts_protocol_error) {
+            EXPECT_GE(result.protocol_errors, 1u);
+        }
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
+}
+
+TEST(Coordinator, SpeculatesStragglerAndDiscardsDuplicatesExactly) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.shard = 8;          // one shard per worker
+    options.steal_min = 1000;   // disable the exact-steal path entirely
+    options.spool_path = temp_path("straggler_spool");
+    options.chaos.slow_batch_prob = 1.0;  // slot 0 sleeps before every batch
+    options.chaos.slow_ms = 60 * time_scale();
+    options.chaos.only_worker = 0;
+    options.chaos_seed = 15;
+    options.straggler_factor = 2.0;
+    options.straggler_min_ms = 40 * time_scale();
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GE(result.speculations, 1u)
+        << "the idle fast worker must have re-executed the laggard's range";
+    EXPECT_GE(result.duplicates_discarded, 1u)
+        << "the losing copy's commits must be discarded, not double-merged";
+    EXPECT_EQ(result.shards_stolen, 0u);
+    EXPECT_EQ(coordinator.report().render_text(), want_text);
+    EXPECT_EQ(coordinator.report().render_json(), want_json);
+}
+
+TEST(Coordinator, MinWorkersFailsFastWhenFleetCannotRecover) {
+    const JobSpec spec = chaos_spec();
+
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.spool_path = temp_path("minworkers_spool");
+    options.chaos.crash_phase = CrashPhase::MidBatch;
+    options.chaos.crash_after = 1;
+    options.chaos.only_worker = 0;  // slot 0 dies in every generation
+    options.chaos_all_generations = true;
+    options.chaos_seed = 16;
+    options.max_worker_restarts = 1;
+    options.min_workers = 2;
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.partial);
+    EXPECT_NE(result.error.find("min_workers"), std::string::npos)
+        << result.error;
+    EXPECT_EQ(result.worker_restarts, 1u);
+}
+
+TEST(Coordinator, PartialOkFinishesDegradedWithExplicitlyPartialReport) {
+    const JobSpec spec = chaos_spec();
+
+    // Persistent fault: every incarnation of every worker commits one batch
+    // and dies. Once the restart budget is gone the run must finish with
+    // what it has and say so in both renderings.
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.batch = 1;
+    options.spool_path = temp_path("partial_spool");
+    options.chaos.crash_phase = CrashPhase::MidBatch;
+    options.chaos.crash_after = 2;
+    options.chaos_all_generations = true;
+    options.chaos_seed = 17;
+    options.max_worker_restarts = 2;
+    options.partial_ok = true;
+    Coordinator coordinator(spec, options);
+    const CoordinatorResult result = coordinator.run();
+    EXPECT_FALSE(result.completed);
+    ASSERT_TRUE(result.partial) << result.error;
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_GE(result.scenarios_committed, 2u);
+    EXPECT_LT(result.scenarios_committed, spec.grid_size());
+
+    const std::string text = coordinator.report().render_text();
+    EXPECT_NE(text.find("partial: " +
+                        std::to_string(result.scenarios_committed) + "/" +
+                        std::to_string(spec.grid_size()) +
+                        " scenarios committed; missing:"),
+              std::string::npos)
+        << text.substr(0, 200);
+    const std::string json = coordinator.report().render_json();
+    EXPECT_NE(json.find("\"partial\":{\"expected_count\":" +
+                        std::to_string(spec.grid_size()) +
+                        ",\"missing_ranges\":["),
+              std::string::npos);
+}
+
+TEST(Coordinator, ChaosCheckpointTearAbortsThenResumeCompletes) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+    const std::string ckpt = temp_path("chaos_tear_ckpt");
+
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.spool_path = temp_path("chaos_tear_spool_a");
+        options.chaos.checkpoint_tear_after = 3;  // 3rd append lands torn
+        options.chaos.checkpoint_tear_bytes = 7;
+        options.chaos_seed = 18;
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        EXPECT_FALSE(result.completed);
+        EXPECT_NE(result.error.find("chaos"), std::string::npos)
+            << result.error;
+        EXPECT_EQ(result.chaos_faults_injected, 1u);
+    }
+    // The journal must hold exactly the two complete records plus a
+    // recoverable torn tail — the on-disk shape of a real crash mid-append.
+    const CheckpointContents contents =
+        load_checkpoint(ckpt, spec.fingerprint(), spec.grid_size());
+    EXPECT_TRUE(contents.torn_tail);
+    ASSERT_EQ(contents.batches.size(), 2u);
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.resume = true;
+        options.spool_path = temp_path("chaos_tear_spool_b");
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_EQ(result.scenarios_resumed, 2u);
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
+}
+
+TEST(Coordinator, PreCheckpointCrashAbortsThenResumeCompletes) {
+    const JobSpec spec = chaos_spec();
+    const auto [want_text, want_json] = reference_renderings(spec);
+    const std::string ckpt = temp_path("chaos_crash_ckpt");
+
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.spool_path = temp_path("chaos_crash_spool_a");
+        options.chaos.crash_phase = CrashPhase::PreCheckpoint;
+        options.chaos.crash_after = 2;  // die right before the 2nd append
+        options.chaos_seed = 19;
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        EXPECT_FALSE(result.completed);
+        EXPECT_NE(result.error.find("chaos"), std::string::npos)
+            << result.error;
+        EXPECT_EQ(result.chaos_faults_injected, 1u);
+    }
+    const CheckpointContents contents =
+        load_checkpoint(ckpt, spec.fingerprint(), spec.grid_size());
+    EXPECT_FALSE(contents.torn_tail);
+    ASSERT_EQ(contents.batches.size(), 1u);
+    {
+        CoordinatorOptions options;
+        options.workers = 2;
+        options.batch = 1;
+        options.checkpoint_path = ckpt;
+        options.resume = true;
+        options.spool_path = temp_path("chaos_crash_spool_b");
+        Coordinator coordinator(spec, options);
+        const CoordinatorResult result = coordinator.run();
+        ASSERT_TRUE(result.completed) << result.error;
+        EXPECT_EQ(result.scenarios_resumed, 1u);
+        EXPECT_EQ(coordinator.report().render_text(), want_text);
+        EXPECT_EQ(coordinator.report().render_json(), want_json);
+    }
 }
 
 }  // namespace
