@@ -8,12 +8,14 @@
 #include <string>
 #include <string_view>
 
+#include "refpga/app/activity.hpp"
 #include "refpga/app/system.hpp"
 #include "refpga/netlist/stats.hpp"
 #include "refpga/par/pack.hpp"
 #include "refpga/par/placer.hpp"
 #include "refpga/par/router.hpp"
 #include "refpga/sim/activity.hpp"
+#include "refpga/sim/engine.hpp"
 #include "refpga/sim/simulator.hpp"
 #include "refpga/sim/vcd.hpp"
 
@@ -58,33 +60,17 @@ struct Implementation {
 
 /// Stimulates the system netlist for `cycles` and recovers per-net activity
 /// through the full VCD round trip (post-PAR simulation -> VCD -> parse),
-/// mirroring the paper's XPower flow.
-inline sim::ActivityMap system_activity_via_vcd(const netlist::Netlist& nl,
-                                                double clock_hz, int cycles = 256) {
-    sim::Simulator simulator(nl);
-    std::vector<netlist::NetId> all_nets;
-    for (std::uint32_t i = 0; i < nl.net_count(); ++i)
-        all_nets.push_back(netlist::NetId{i});
-
-    std::ostringstream vcd_text;
-    sim::VcdWriter writer(vcd_text, simulator, all_nets);
-    const double period_ps = 1e12 / clock_hz;
-
-    if (nl.find_port("tick_16mhz") != nullptr) simulator.set_input("tick_16mhz", 1);
-    if (nl.find_port("adc_valid") != nullptr) simulator.set_input("adc_valid", 1);
-
-    writer.sample(1);
-    Rng rng(2024);
-    for (int t = 1; t <= cycles; ++t) {
-        if (nl.find_port("adc_meas") != nullptr)
-            simulator.set_input("adc_meas", rng.next_below(4096));
-        if (nl.find_port("adc_ref") != nullptr)
-            simulator.set_input("adc_ref", rng.next_below(4096));
-        simulator.tick();
-        writer.sample(static_cast<std::int64_t>(t * period_ps));
-    }
-    std::istringstream is(vcd_text.str());
-    return sim::activity_from_vcd(nl, sim::parse_vcd(is));
+/// mirroring the paper's XPower flow. Thin wrapper over app::system_activity
+/// so benches, campaigns and examples share one stimulus definition; the
+/// engine choice does not change the result (sim/engine.hpp parity contract).
+inline sim::ActivityMap system_activity_via_vcd(
+    const netlist::Netlist& nl, double clock_hz, int cycles = 256,
+    sim::EngineKind engine = sim::EngineKind::Cycle) {
+    app::ActivityOptions opts;
+    opts.engine = engine;
+    opts.cycles = cycles;
+    opts.via_vcd = true;
+    return app::system_activity(nl, clock_hz, opts);
 }
 
 }  // namespace refpga::benchkit

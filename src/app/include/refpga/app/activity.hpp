@@ -1,0 +1,37 @@
+// Switching-activity extraction for the measurement system's netlists.
+//
+// One library home for the stimulus that every consumer of §4.3 activity
+// uses (benches, campaigns, examples): drive the system's known ports with
+// the deterministic reference pattern, run either simulation engine, and
+// return per-net toggle rates — optionally through the full VCD round trip
+// (post-PAR simulation -> dump -> parse), mirroring the paper's XPower flow.
+// The dual-engine parity contract (sim/engine.hpp) makes the result
+// engine-independent; the engine option only selects how fast it is
+// computed.
+#pragma once
+
+#include "refpga/netlist/netlist.hpp"
+#include "refpga/sim/activity.hpp"
+#include "refpga/sim/engine.hpp"
+
+namespace refpga::app {
+
+struct ActivityOptions {
+    sim::EngineKind engine = sim::EngineKind::Cycle;
+    int cycles = 256;
+    /// true: emit + parse a VCD (constant-memory streaming path) and derive
+    /// rates from the dump, like XPower; false: read the engine's toggle
+    /// counters directly (identical toggle counts; rates differ only by the
+    /// dump's duration being measured from the first sample).
+    bool via_vcd = true;
+};
+
+/// Stimulates `nl` for `opts.cycles` clock cycles with the deterministic
+/// system pattern (tick_16mhz/adc_valid held, adc_meas/adc_ref driven from
+/// Rng(2024); ports absent from the netlist are skipped, so this also works
+/// for plain cores) and returns per-net activity at `clock_hz`.
+[[nodiscard]] sim::ActivityMap system_activity(const netlist::Netlist& nl,
+                                               double clock_hz,
+                                               const ActivityOptions& opts = {});
+
+}  // namespace refpga::app

@@ -52,6 +52,13 @@ PowerReport estimate_power(const par::RoutedDesign& routed,
     return report;
 }
 
+PowerReport estimate_power(const par::RoutedDesign& routed, const sim::SimEngine& sim,
+                           double clock_hz, const PowerOptions& options,
+                           std::size_t top_net_count) {
+    return estimate_power(routed, sim::activity_from_simulation(sim, clock_hz),
+                          clock_hz, options, top_net_count);
+}
+
 std::string PowerReport::render() const {
     std::ostringstream os;
     os << "power report:\n"

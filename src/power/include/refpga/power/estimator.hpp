@@ -50,4 +50,13 @@ struct PowerReport {
                                          const PowerOptions& options = {},
                                          std::size_t top_net_count = 10);
 
+/// Same, taking activity straight from a finished simulation of the routed
+/// netlist. Works over either engine: the dual-engine parity contract
+/// (sim/engine.hpp) guarantees the report is engine-independent.
+[[nodiscard]] PowerReport estimate_power(const par::RoutedDesign& routed,
+                                         const sim::SimEngine& sim,
+                                         double clock_hz,
+                                         const PowerOptions& options = {},
+                                         std::size_t top_net_count = 10);
+
 }  // namespace refpga::power

@@ -18,7 +18,7 @@ std::vector<netlist::NetId> ActivityMap::busiest(std::size_t count) const {
     return order;
 }
 
-ActivityMap activity_from_simulation(const Simulator& sim, double clock_hz) {
+ActivityMap activity_from_simulation(const SimEngine& sim, double clock_hz) {
     REFPGA_EXPECTS(clock_hz > 0.0);
     REFPGA_EXPECTS(sim.cycle_count() > 0);
     const double seconds = static_cast<double>(sim.cycle_count()) / clock_hz;

@@ -1,0 +1,31 @@
+#include "refpga/sim/engine.hpp"
+
+#include "refpga/sim/event_sim.hpp"
+#include "refpga/sim/simulator.hpp"
+
+namespace refpga::sim {
+
+const char* engine_kind_name(EngineKind kind) {
+    switch (kind) {
+        case EngineKind::Cycle: return "cycle";
+        case EngineKind::Event: return "event";
+    }
+    return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) {
+    if (name == "cycle") return EngineKind::Cycle;
+    if (name == "event") return EngineKind::Event;
+    return std::nullopt;
+}
+
+void SimEngine::run(int cycles) {
+    for (int i = 0; i < cycles; ++i) tick();
+}
+
+std::unique_ptr<SimEngine> make_engine(EngineKind kind, const netlist::Netlist& nl) {
+    if (kind == EngineKind::Event) return std::make_unique<EventSimulator>(nl);
+    return std::make_unique<Simulator>(nl);
+}
+
+}  // namespace refpga::sim

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "refpga/netlist/netlist.hpp"
-#include "refpga/sim/simulator.hpp"
+#include "refpga/sim/engine.hpp"
 #include "refpga/sim/vcd.hpp"
 
 namespace refpga::sim {
@@ -34,9 +34,11 @@ private:
     std::vector<double> rate_hz_;
 };
 
-/// Builds activity from a finished simulation: toggles observed over
-/// `cycles` cycles of a clock at `clock_hz`.
-[[nodiscard]] ActivityMap activity_from_simulation(const Simulator& sim, double clock_hz);
+/// Builds activity from a finished simulation (either engine — the parity
+/// contract makes the result engine-independent): toggles observed over
+/// `cycles` cycles of a clock at `clock_hz`. Per the toggle specification in
+/// engine.hpp, constant-driven and undriven nets always get rate 0.
+[[nodiscard]] ActivityMap activity_from_simulation(const SimEngine& sim, double clock_hz);
 
 /// Builds activity from a parsed VCD, matching signals to nets by name.
 /// Nets without a VCD record get rate 0.

@@ -1,0 +1,46 @@
+// Seeded random netlist generation for differential simulator testing.
+//
+// The dual-engine contract (engine.hpp) is enforced by comparing the cycle
+// and event engines over many randomly generated but DRC-clean netlists.
+// Generation is fully deterministic in the seed (refpga::Rng), so a failing
+// seed reproduces exactly on any platform; topologies mix LUT soup, plain
+// and clock-enabled FFs, feedback registers, counters, BRAM (ROM and
+// writable), and MULT18 blocks — every primitive both engines evaluate.
+//
+// `gated_channel_netlist` builds the benchmark topology: many identical
+// datapath channels whose clock enables are driven by a one-hot selector, so
+// only ~1/channels of the fabric toggles per cycle. That low activity factor
+// mirrors the paper's clock-gated measurement design and is where the
+// event-driven engine earns its keep (bench_sim_activity).
+#pragma once
+
+#include <cstdint>
+
+#include "refpga/netlist/netlist.hpp"
+
+namespace refpga::sim {
+
+struct RandomNetlistOptions {
+    int luts = 40;        ///< LUT-soup cells (1..4 random inputs, random mask)
+    int ffs = 12;         ///< plain/CE flip-flops outside structured blocks
+    int stim_bits = 6;    ///< width of the "stim" input port
+    int probe_bits = 8;   ///< width of the "probe" output port
+    bool with_bram = true;
+    bool with_mult = true;
+    bool with_feedback = true;  ///< counters + feedback registers
+};
+
+/// Deterministically generates a DRC-clean netlist for seed. Ports: "clk"
+/// (1 bit), "stim" (stim_bits), "probe" (probe_bits, random internal nets).
+[[nodiscard]] netlist::Netlist random_netlist(std::uint64_t seed,
+                                              const RandomNetlistOptions& opts = {});
+
+/// Benchmark netlist: `channels` copies of a `width`-bit accumulator +
+/// comparator datapath (`depth` CE-gated pipeline stages each), gated by a
+/// one-hot clock enable from a selector counter and merged into one
+/// XOR-tree-reduced "probe" output. Ports: "clk", "stim" (width bits),
+/// "probe" (width bits).
+[[nodiscard]] netlist::Netlist gated_channel_netlist(int channels, int width,
+                                                     int depth = 1);
+
+}  // namespace refpga::sim

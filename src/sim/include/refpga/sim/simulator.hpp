@@ -1,9 +1,11 @@
-// Levelized two-value cycle simulator.
+// Levelized two-value cycle simulator (the reference engine).
 //
 // Combinational cells are evaluated in topological order after every input
 // change or clock tick; sequential cells (FF, BRAM) latch on tick(). This is
 // the engine behind functional verification, the VCD/XPower activity flow
-// (§4.3 of the paper) and the SW-vs-HW timing comparison (§4.2).
+// (§4.3 of the paper) and the SW-vs-HW timing comparison (§4.2). It defines
+// the semantics the event-driven engine (EventSimulator) must reproduce
+// bit-for-bit — see engine.hpp for the dual-engine contract.
 #pragma once
 
 #include <cstdint>
@@ -11,55 +13,52 @@
 #include <vector>
 
 #include "refpga/netlist/netlist.hpp"
+#include "refpga/sim/engine.hpp"
 
 namespace refpga::sim {
 
-class Simulator {
+class Simulator : public SimEngine {
 public:
     /// The netlist must pass DRC (no combinational loops). Initial state:
-    /// all nets 0, all FFs 0, BRAMs hold their init contents.
+    /// all nets settled from reset, all FFs 0, BRAMs hold their init
+    /// contents; toggle counters start at zero (the power-up settle is not
+    /// counted — see engine.hpp).
     explicit Simulator(const netlist::Netlist& nl);
 
-    [[nodiscard]] const netlist::Netlist& netlist() const { return nl_; }
+    [[nodiscard]] EngineKind kind() const override { return EngineKind::Cycle; }
+
+    [[nodiscard]] const netlist::Netlist& netlist() const override { return nl_; }
 
     // --- stimulus / observation ----------------------------------------------
 
-    /// Drives an input port with `value` (bit i of value -> bit i of the port).
-    void set_input(const std::string& port, std::uint64_t value);
+    void set_input(const std::string& port, std::uint64_t value) override;
 
-    /// Reads a port (input or output) as an unsigned integer.
-    [[nodiscard]] std::uint64_t get_port(const std::string& port) const;
+    [[nodiscard]] std::uint64_t get_port(const std::string& port) const override;
 
-    [[nodiscard]] bool net_value(netlist::NetId net) const;
+    [[nodiscard]] bool net_value(netlist::NetId net) const override;
 
     // --- time ----------------------------------------------------------------
 
-    /// One rising edge of `clock`: latch sequential state, then settle
-    /// combinational logic. Default: the netlist's single clock.
-    void tick(netlist::NetId clock = netlist::NetId{});
-
-    /// Convenience: n ticks of the default clock.
-    void run(int cycles);
+    void tick(netlist::NetId clock = netlist::NetId{}) override;
 
     /// Re-evaluates combinational logic (called automatically by
     /// set_input/tick; exposed for tests).
     void settle();
 
-    [[nodiscard]] std::int64_t cycle_count() const { return cycles_; }
+    [[nodiscard]] std::int64_t cycle_count() const override { return cycles_; }
 
-    /// Nets whose value changed during the most recent settle/tick.
-    [[nodiscard]] const std::vector<netlist::NetId>& changed_nets() const {
+    [[nodiscard]] const std::vector<netlist::NetId>& changed_nets() const override {
         return changed_;
     }
 
-    /// Total value toggles per net since construction (for activity analysis).
-    [[nodiscard]] const std::vector<std::int64_t>& toggle_counts() const {
+    [[nodiscard]] const std::vector<std::int64_t>& toggle_counts() const override {
         return toggles_;
     }
 
-    /// BRAM word access (test/debug and software-memory modelling).
-    [[nodiscard]] std::uint32_t bram_word(netlist::CellId bram, std::size_t addr) const;
-    void set_bram_word(netlist::CellId bram, std::size_t addr, std::uint32_t value);
+    [[nodiscard]] std::uint32_t bram_word(netlist::CellId bram,
+                                          std::size_t addr) const override;
+    void set_bram_word(netlist::CellId bram, std::size_t addr,
+                       std::uint32_t value) override;
 
 private:
     void levelize();

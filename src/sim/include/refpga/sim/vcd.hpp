@@ -4,6 +4,12 @@
 // derives per-net switching rates. We reproduce the same round trip: the
 // simulator writes a real VCD, the parser recovers per-signal toggle counts
 // that feed the power estimator.
+//
+// Both directions stream in constant memory: the writer holds only the last
+// emitted value per watched signal and appends to the ostream as samples
+// arrive; the parser is a single pass over the token stream whose state is
+// one last-value record per declared variable — neither ever buffers the
+// dump, so arbitrarily long simulations can round-trip through a pipe.
 #pragma once
 
 #include <cstdint>
@@ -14,28 +20,41 @@
 #include <vector>
 
 #include "refpga/netlist/netlist.hpp"
-#include "refpga/sim/simulator.hpp"
+#include "refpga/sim/engine.hpp"
 
 namespace refpga::sim {
 
+/// A multi-bit variable for VcdWriter: emitted as one `$var wire N` with
+/// `b...` value changes instead of N scalars. Bits are LSB first.
+struct VcdVectorVar {
+    std::string name;
+    std::vector<netlist::NetId> bits;
+};
+
 class VcdWriter {
 public:
-    /// Watches `nets` of the simulator's netlist. Header is emitted
-    /// immediately; timescale is 1 ps.
-    VcdWriter(std::ostream& os, const Simulator& sim, std::vector<netlist::NetId> nets);
+    /// Watches `nets` of the engine's netlist as scalar variables, plus
+    /// optional multi-bit `vectors`. Works identically over either engine
+    /// (output depends only on net values at sample times, so the dual-engine
+    /// parity contract makes the bytes engine-independent). Header is
+    /// emitted immediately; timescale is 1 ps.
+    VcdWriter(std::ostream& os, const SimEngine& sim, std::vector<netlist::NetId> nets,
+              std::vector<VcdVectorVar> vectors = {});
 
-    /// Emits value changes for watched nets at absolute time `time_ps`.
-    /// Times must be non-decreasing.
+    /// Emits value changes for watched variables at absolute time `time_ps`.
+    /// Times must be strictly increasing.
     void sample(std::int64_t time_ps);
 
 private:
     [[nodiscard]] static std::string code_for(std::size_t index);
 
     std::ostream& os_;
-    const Simulator& sim_;
+    const SimEngine& sim_;
     std::vector<netlist::NetId> nets_;
-    std::vector<std::string> codes_;
-    std::vector<std::int8_t> last_;  ///< -1 = not yet dumped
+    std::vector<VcdVectorVar> vectors_;
+    std::vector<std::string> codes_;      ///< scalars, then vectors
+    std::vector<std::int8_t> last_;       ///< -1 = not yet dumped
+    std::vector<std::vector<std::int8_t>> vec_last_;
     std::int64_t last_time_ = -1;
 };
 
@@ -56,12 +75,17 @@ public:
     explicit VcdParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Parses a VCD stream produced by VcdWriter (scalar variables only; vector
-/// changes are skipped after validating their identifier). Throws
-/// VcdParseError on truncated declarations or directives, value changes for
-/// undeclared identifiers, malformed or non-increasing timestamps, value
-/// changes before the first timestamp, and files with declarations but no
-/// value-change section at all.
+/// Parses a VCD stream produced by VcdWriter. Scalar changes accumulate
+/// toggles under the declared name. Vector (`b...`) changes on variables
+/// declared with width > 1 accumulate per-bit toggles under `name[i]`
+/// (i = 0 is the LSB, the rightmost binary digit; short values are
+/// left-extended per IEEE 1364). Vector changes on width-1 variables are
+/// skipped after validating the identifier, matching pre-vector behaviour.
+/// Throws VcdParseError on truncated declarations or directives, value
+/// changes for undeclared identifiers, vector values wider than the declared
+/// width, malformed or non-increasing timestamps, value changes before the
+/// first timestamp, and files with declarations but no value-change section
+/// at all.
 [[nodiscard]] VcdActivity parse_vcd(std::istream& is);
 
 }  // namespace refpga::sim

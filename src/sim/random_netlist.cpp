@@ -1,0 +1,166 @@
+#include "refpga/sim/random_netlist.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "refpga/common/contracts.hpp"
+#include "refpga/common/rng.hpp"
+#include "refpga/netlist/builder.hpp"
+
+namespace refpga::sim {
+
+using netlist::Builder;
+using netlist::Bus;
+using netlist::NetId;
+
+namespace {
+
+/// Picks a random already-driven net; construction order makes the result a
+/// DAG, so any pick is combinational-loop free.
+NetId pick(Rng& rng, const std::vector<NetId>& pool) {
+    return pool[rng.next_below(static_cast<std::uint32_t>(pool.size()))];
+}
+
+Bus pick_bus(Rng& rng, const std::vector<NetId>& pool, int width) {
+    Bus bus;
+    bus.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) bus.push_back(pick(rng, pool));
+    return bus;
+}
+
+}  // namespace
+
+netlist::Netlist random_netlist(std::uint64_t seed, const RandomNetlistOptions& opts) {
+    REFPGA_EXPECTS(opts.stim_bits >= 1 && opts.stim_bits <= 16);
+    REFPGA_EXPECTS(opts.probe_bits >= 1);
+    Rng rng(seed);
+
+    netlist::Netlist nl;
+    const NetId clk = nl.add_input_port("clk", 1)[0];
+    Builder b(nl, clk);
+
+    // The pool holds every driven net usable as a data input. The clock net
+    // is deliberately never pooled (DRC: clock-used-as-data).
+    std::vector<NetId> pool = nl.add_input_port("stim", opts.stim_bits);
+
+    auto pour = [&](const Bus& bus) {
+        for (const NetId n : bus) pool.push_back(n);
+    };
+
+    if (opts.with_feedback) {
+        // A free-running counter gives every netlist internal liveliness even
+        // under constant stimulus, and a feedback register closes a
+        // FF -> logic -> FF loop through random pool data.
+        const int cwidth = 3 + static_cast<int>(rng.next_below(4));
+        pour(b.counter(cwidth, NetId{}, "rcnt"));
+        const int fwidth = 3 + static_cast<int>(rng.next_below(4));
+        const Bus mix = pick_bus(rng, pool, fwidth);
+        pour(b.feedback_reg(
+            fwidth, [&](const Bus& q) { return b.add(b.xor_bus(q, mix), q); },
+            rng.next_below(2) != 0 ? pick(rng, pool) : NetId{}, "rstate"));
+    }
+
+    if (opts.with_mult) {
+        const int aw = 3 + static_cast<int>(rng.next_below(3));
+        const int bw = 3 + static_cast<int>(rng.next_below(3));
+        pour(b.mul_mult18(pick_bus(rng, pool, aw), pick_bus(rng, pool, bw),
+                          aw + bw, 0, "rmul"));
+    }
+
+    if (opts.with_bram) {
+        // One read-only BRAM with random contents...
+        const int rom_addr = 3;
+        std::vector<std::uint32_t> contents(std::size_t{1} << rom_addr);
+        for (auto& word : contents) word = static_cast<std::uint32_t>(rng.next_u64());
+        pour(b.rom_bram(pick_bus(rng, pool, rom_addr), contents, 6, "rrom"));
+
+        // ...and one writable port so the engines' write paths diverge if
+        // either mishandles write-first or arming on data changes.
+        netlist::BramConfig cfg;
+        cfg.addr_bits = 3;
+        cfg.data_bits = 4;
+        cfg.writable = true;
+        cfg.init.assign(cfg.depth(), 0);
+        for (auto& word : cfg.init)
+            word = static_cast<std::uint32_t>(rng.next_u64()) & 0xF;
+        const Bus addr = pick_bus(rng, pool, cfg.addr_bits);
+        const NetId we = pick(rng, pool);
+        const Bus wdata = pick_bus(rng, pool, cfg.data_bits);
+        for (const NetId n : nl.add_bram(cfg, addr, clk, we, wdata, "rram"))
+            pool.push_back(n);
+    }
+
+    // LUT soup and scattered FFs, interleaved so flops capture mid-soup nets
+    // and later LUTs chew on flop outputs (sequential feedback across cells).
+    int ffs_left = opts.ffs;
+    for (int i = 0; i < opts.luts; ++i) {
+        const int k = 1 + static_cast<int>(rng.next_below(4));
+        std::array<NetId, 4> ins{};
+        for (int j = 0; j < k; ++j) ins[static_cast<std::size_t>(j)] = pick(rng, pool);
+        const auto mask = static_cast<std::uint16_t>(rng.next_u64());
+        pool.push_back(nl.add_lut(mask, {ins.data(), static_cast<std::size_t>(k)},
+                                  "rlut" + std::to_string(i)));
+        if (ffs_left > 0 && rng.next_below(3) == 0) {
+            const NetId ce = rng.next_below(2) != 0 ? pick(rng, pool) : NetId{};
+            pool.push_back(b.ff(pick(rng, pool), ce, "rff" + std::to_string(i)));
+            --ffs_left;
+        }
+    }
+    while (ffs_left-- > 0)
+        pool.push_back(b.ff(pick(rng, pool), NetId{}, "rfftail" + std::to_string(ffs_left)));
+
+    nl.add_output_port("probe", pick_bus(rng, pool, opts.probe_bits));
+    return nl;
+}
+
+netlist::Netlist gated_channel_netlist(int channels, int width, int depth) {
+    REFPGA_EXPECTS(channels >= 1 && width >= 2 && width <= 16 && depth >= 1);
+    netlist::Netlist nl;
+    const NetId clk = nl.add_input_port("clk", 1)[0];
+    Builder b(nl, clk);
+    const Bus stim = nl.add_input_port("stim", width);
+
+    // Selector counter: channel i is clock-enabled only when the low selector
+    // bits equal i, so ~1/channels of the datapath toggles per cycle. The
+    // remaining channels hold state — the activity profile of the paper's
+    // clock-gated measurement system, and the event engine's best case.
+    int sel_bits = 1;
+    while ((1 << sel_bits) < channels) ++sel_bits;
+    const Bus sel = b.counter(sel_bits, NetId{}, "sel");
+
+    std::vector<Bus> leaves;
+    leaves.reserve(static_cast<std::size_t>(channels));
+    for (int ch = 0; ch < channels; ++ch) {
+        b.push_scope("ch" + std::to_string(ch));
+        const NetId hit = b.eq(sel, b.constant(static_cast<std::uint64_t>(ch) &
+                                                   ((1u << sel_bits) - 1),
+                                               sel_bits));
+        const Bus acc = b.feedback_reg(
+            width, [&](const Bus& q) { return b.add(q, stim); }, hit, "acc");
+        // `depth` - 1 further CE-gated pipeline stages: pure combinational
+        // weight that stays silent while the channel is not selected.
+        Bus stage = acc;
+        for (int s = 1; s < depth; ++s)
+            stage = b.reg(b.xor_bus(b.add(stage, acc), stim), hit,
+                          "st" + std::to_string(s));
+        leaves.push_back(b.xor_bus(stage, stim));
+        b.pop_scope();
+    }
+
+    // Balanced XOR tree: one channel's update reaches "probe" through
+    // O(log channels) levels, keeping quiescent-channel cost where it
+    // belongs (in the channels, not the reduction).
+    while (leaves.size() > 1) {
+        std::vector<Bus> next;
+        next.reserve((leaves.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+            next.push_back(b.xor_bus(leaves[i], leaves[i + 1]));
+        if (leaves.size() % 2 != 0) next.push_back(leaves.back());
+        leaves = std::move(next);
+    }
+    nl.add_output_port("probe", leaves.front());
+    return nl;
+}
+
+}  // namespace refpga::sim

@@ -40,6 +40,12 @@ Simulator::Simulator(const netlist::Netlist& nl) : nl_(nl) {
         if (c.kind == CellKind::Vcc) values_[c.outputs[0].value()] = 1;
     }
     settle();
+    // The settle above only establishes the reset steady state; activity
+    // accounting starts from zero so the power-up transition is never
+    // reported as a toggle (constant-driven and undriven nets stay at 0
+    // forever). See engine.hpp for the full specification.
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    changed_.clear();
 }
 
 void Simulator::levelize() {
@@ -215,10 +221,6 @@ void Simulator::tick(NetId clock) {
     }
     settle();
     ++cycles_;
-}
-
-void Simulator::run(int cycles) {
-    for (int i = 0; i < cycles; ++i) tick();
 }
 
 std::uint32_t Simulator::bram_word(CellId bram, std::size_t addr) const {

@@ -7,11 +7,13 @@
 
 namespace refpga::sim {
 
-VcdWriter::VcdWriter(std::ostream& os, const Simulator& sim,
-                     std::vector<netlist::NetId> nets)
-    : os_(os), sim_(sim), nets_(std::move(nets)) {
-    codes_.reserve(nets_.size());
+VcdWriter::VcdWriter(std::ostream& os, const SimEngine& sim,
+                     std::vector<netlist::NetId> nets,
+                     std::vector<VcdVectorVar> vectors)
+    : os_(os), sim_(sim), nets_(std::move(nets)), vectors_(std::move(vectors)) {
+    codes_.reserve(nets_.size() + vectors_.size());
     last_.assign(nets_.size(), -1);
+    vec_last_.resize(vectors_.size());
 
     os_ << "$timescale 1ps $end\n";
     os_ << "$scope module top $end\n";
@@ -21,6 +23,13 @@ VcdWriter::VcdWriter(std::ostream& os, const Simulator& sim,
         // VCD identifiers must not contain whitespace; net names are safe
         // (builder uses [a-zA-Z0-9_/.\[\]]).
         os_ << "$var wire 1 " << codes_[i] << ' ' << net.name << " $end\n";
+    }
+    for (std::size_t j = 0; j < vectors_.size(); ++j) {
+        REFPGA_EXPECTS(!vectors_[j].bits.empty());
+        codes_.push_back(code_for(nets_.size() + j));
+        vec_last_[j].assign(vectors_[j].bits.size(), -1);
+        os_ << "$var wire " << vectors_[j].bits.size() << ' '
+            << codes_[nets_.size() + j] << ' ' << vectors_[j].name << " $end\n";
     }
     os_ << "$upscope $end\n$enddefinitions $end\n";
 }
@@ -38,15 +47,36 @@ std::string VcdWriter::code_for(std::size_t index) {
 void VcdWriter::sample(std::int64_t time_ps) {
     REFPGA_EXPECTS(time_ps > last_time_);
     bool header_emitted = false;
-    for (std::size_t i = 0; i < nets_.size(); ++i) {
-        const auto v = static_cast<std::int8_t>(sim_.net_value(nets_[i]) ? 1 : 0);
-        if (v == last_[i]) continue;
+    auto stamp = [&] {
         if (!header_emitted) {
             os_ << '#' << time_ps << '\n';
             header_emitted = true;
         }
+    };
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+        const auto v = static_cast<std::int8_t>(sim_.net_value(nets_[i]) ? 1 : 0);
+        if (v == last_[i]) continue;
+        stamp();
         os_ << (v != 0 ? '1' : '0') << codes_[i] << '\n';
         last_[i] = v;
+    }
+    for (std::size_t j = 0; j < vectors_.size(); ++j) {
+        const auto& bits = vectors_[j].bits;
+        auto& last = vec_last_[j];
+        bool dirty = false;
+        for (std::size_t b = 0; b < bits.size(); ++b) {
+            const auto v = static_cast<std::int8_t>(sim_.net_value(bits[b]) ? 1 : 0);
+            if (v != last[b]) {
+                last[b] = v;
+                dirty = true;
+            }
+        }
+        if (!dirty) continue;
+        stamp();
+        os_ << 'b';
+        for (std::size_t b = bits.size(); b-- > 0;)  // MSB first
+            os_ << (last[b] != 0 ? '1' : '0');
+        os_ << ' ' << codes_[nets_.size() + j] << '\n';
     }
     last_time_ = time_ps;
 }
@@ -58,24 +88,44 @@ double VcdActivity::toggle_rate_hz(const std::string& signal) const {
     return static_cast<double>(it->second) / (static_cast<double>(duration_ps) * 1e-12);
 }
 
+namespace {
+
+struct VcdVarState {
+    std::string name;
+    std::size_t width = 1;
+    std::vector<std::int8_t> last;  ///< per bit, LSB first; -1 = unknown
+};
+
+}  // namespace
+
 VcdActivity parse_vcd(std::istream& is) {
     VcdActivity activity;
-    std::map<std::string, std::string> code_to_name;
-    std::map<std::string, std::int8_t> last_value;
+    std::map<std::string, VcdVarState> vars;
     std::int64_t first_time = -1;
     std::int64_t time = 0;
 
     std::string token;
     while (is >> token) {
         if (token == "$var") {
-            // $var wire 1 <code> <name> $end
+            // $var wire N <code> <name> $end
             std::string type, width, code, name, end;
             if (!(is >> type >> width >> code >> name >> end))
                 throw VcdParseError("vcd: truncated $var declaration");
             if (end != "$end")
                 throw VcdParseError("vcd: $var declaration not closed by $end");
-            code_to_name[code] = name;
-            last_value[code] = -1;
+            std::size_t w = 0;
+            std::size_t consumed = 0;
+            try {
+                w = static_cast<std::size_t>(std::stoull(width, &consumed));
+            } catch (const std::exception&) {
+                consumed = 0;
+            }
+            if (consumed != width.size() || w == 0)
+                throw VcdParseError("vcd: bad $var width '" + width + "'");
+            VcdVarState& v = vars[code];
+            v.name = name;
+            v.width = w;
+            v.last.assign(w, -1);
         } else if (token[0] == '$') {
             // Skip other directives until their $end.
             if (token != "$end" && token.find("$end") == std::string::npos) {
@@ -108,35 +158,75 @@ VcdActivity parse_vcd(std::istream& is) {
                 throw VcdParseError(
                     "vcd: value change before the first timestamp");
             const std::string code = token.substr(1);
-            auto it = last_value.find(code);
-            if (it == last_value.end())
+            auto it = vars.find(code);
+            if (it == vars.end())
                 throw VcdParseError("vcd: value change for undeclared "
                                     "identifier '" + code + "'");
+            std::int8_t& last = it->second.last[0];
             if (token[0] != '0' && token[0] != '1') {
-                it->second = -1;  // unknown/hi-Z: resets toggle tracking
+                last = -1;  // unknown/hi-Z: resets toggle tracking
                 continue;
             }
             const auto v = static_cast<std::int8_t>(token[0] - '0');
-            if (it->second >= 0 && it->second != v)
-                ++activity.toggles[code_to_name[code]];
-            if (it->second < 0) activity.toggles.try_emplace(code_to_name[code], 0);
-            it->second = v;
+            if (last >= 0 && last != v) ++activity.toggles[it->second.name];
+            if (last < 0) activity.toggles.try_emplace(it->second.name, 0);
+            last = v;
         } else if (token[0] == 'b' || token[0] == 'B' || token[0] == 'r' ||
                    token[0] == 'R') {
-            // Vector/real change (not produced by VcdWriter): the value token
-            // is followed by its identifier; skip it, but still insist it
-            // refers to a declared variable.
+            // Vector/real change: the value token is followed by its
+            // identifier. Width-1 declarations keep the historical
+            // skip-but-validate behaviour; width>1 accumulates per-bit
+            // toggles under name[i].
+            const std::string value = token.substr(1);
             std::string code;
             if (!(is >> code))
                 throw VcdParseError("vcd: truncated vector value change");
-            if (code_to_name.find(code) == code_to_name.end())
+            auto it = vars.find(code);
+            if (it == vars.end())
                 throw VcdParseError("vcd: vector change for undeclared "
                                     "identifier '" + code + "'");
+            VcdVarState& var = it->second;
+            if (var.width <= 1 || token[0] == 'r' || token[0] == 'R') continue;
+            if (first_time < 0)
+                throw VcdParseError(
+                    "vcd: value change before the first timestamp");
+            if (value.empty() || value.size() > var.width)
+                throw VcdParseError("vcd: vector value '" + token +
+                                    "' does not fit width " +
+                                    std::to_string(var.width) + " variable '" +
+                                    var.name + "'");
+            for (const char ch : value)
+                if (ch != '0' && ch != '1' && ch != 'x' && ch != 'X' &&
+                    ch != 'z' && ch != 'Z')
+                    throw VcdParseError("vcd: bad vector digit in '" + token +
+                                        "'");
+            // IEEE 1364 left-extension: short values extend with 0 unless the
+            // leftmost digit is x/z, which extends with itself.
+            const char leftmost = value.front();
+            const char pad =
+                (leftmost == '0' || leftmost == '1') ? '0' : leftmost;
+            for (std::size_t bit = 0; bit < var.width; ++bit) {
+                // bit 0 is the rightmost digit.
+                const char ch = bit < value.size()
+                                    ? value[value.size() - 1 - bit]
+                                    : pad;
+                std::int8_t& last = var.last[bit];
+                const std::string key =
+                    var.name + "[" + std::to_string(bit) + "]";
+                if (ch != '0' && ch != '1') {
+                    last = -1;
+                    continue;
+                }
+                const auto v = static_cast<std::int8_t>(ch - '0');
+                if (last >= 0 && last != v) ++activity.toggles[key];
+                if (last < 0) activity.toggles.try_emplace(key, 0);
+                last = v;
+            }
         } else {
             throw VcdParseError("vcd: unrecognized token '" + token + "'");
         }
     }
-    if (first_time < 0 && !code_to_name.empty())
+    if (first_time < 0 && !vars.empty())
         throw VcdParseError("vcd: no value-change section after declarations");
     return activity;
 }

@@ -150,12 +150,15 @@ TEST(Estimator, Table2StyleGoldenRegression) {
     // counter, 256 cycles at 50 MHz) — the repo's stand-in for the paper's
     // Table 2 net-power comparison. Tolerances are relative ~1e-6 so FP
     // contraction differences across compilers pass but a model change trips.
+    // The logic golden moved from 0.21466546875 when the simulator's toggle
+    // specification was tightened: the power-up settle is no longer counted,
+    // so constant-driven nets contribute zero activity (see sim/engine.hpp).
     RoutedFixture r;
     const auto activity = r.activity(50e6);
     const PowerReport report = estimate_power(r.routed, activity, 50e6);
     EXPECT_DOUBLE_EQ(report.static_mw, 21.6);  // 18 mA * 1.2 V
     EXPECT_NEAR(report.clock_mw, 1.0944, 1.0944e-6);
-    EXPECT_NEAR(report.logic_mw, 0.21466546875, 0.21466546875e-6);
+    EXPECT_NEAR(report.logic_mw, 0.21461625, 0.21461625e-6);
     EXPECT_NEAR(report.total_mw(), report.static_mw + report.clock_mw + report.logic_mw,
                 1e-12);
 }

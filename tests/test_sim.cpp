@@ -6,6 +6,7 @@
 
 #include "refpga/netlist/builder.hpp"
 #include "refpga/sim/activity.hpp"
+#include "refpga/sim/event_sim.hpp"
 #include "refpga/sim/simulator.hpp"
 #include "refpga/sim/vcd.hpp"
 
@@ -481,6 +482,161 @@ TEST(Simulator, RejectsDirtyNetlist) {
     const NetId floating = nl.add_net("floating");
     (void)nl.add_lut(0x1, std::vector<NetId>{floating}, "inv");
     EXPECT_THROW(Simulator sim(nl), ContractViolation);
+}
+
+// ------------------------------------------------- toggle accounting spec
+// (engine.hpp contract: power-up settle is free; constants and undriven
+// nets never toggle. Checked against both engines.)
+
+template <typename Engine>
+void check_power_up_settle_is_free() {
+    Design d = make_design();
+    Builder b(d.nl, d.clk);
+    // An odd inverter chain from ground settles half its nets to 1 during
+    // construction; none of those transitions may show up as activity.
+    NetId n = d.nl.add_gnd();
+    for (int i = 0; i < 5; ++i) n = b.not_(n);
+    d.nl.add_output_port("o", Bus{n});
+    d.nl.add_output_port("q", b.counter(3));
+    Engine sim(d.nl);
+    EXPECT_EQ(sim.get_port("o"), 1u);  // the chain did settle...
+    for (const std::int64_t t : sim.toggle_counts()) EXPECT_EQ(t, 0);  // ...for free
+    EXPECT_TRUE(sim.changed_nets().empty());
+}
+
+TEST(ToggleSpec, PowerUpSettleIsFreeCycleEngine) {
+    check_power_up_settle_is_free<Simulator>();
+}
+
+TEST(ToggleSpec, PowerUpSettleIsFreeEventEngine) {
+    check_power_up_settle_is_free<EventSimulator>();
+}
+
+template <typename Engine>
+void check_constants_and_undriven_never_toggle() {
+    Design d = make_design();
+    Builder b(d.nl, d.clk);
+    const NetId one = d.nl.add_vcc();
+    const NetId zero = d.nl.add_gnd();
+    const NetId dangling = d.nl.add_net("dangling");  // no driver, no sinks
+    const Bus q = b.counter(4, one);  // CE tied high: counts every cycle
+    d.nl.add_output_port("q", b.and_bus(q, b.xor_bus(q, b.constant(0x5, 4))));
+    Engine sim(d.nl);
+    sim.run(32);
+    EXPECT_EQ(sim.toggle_counts()[one.value()], 0);
+    EXPECT_EQ(sim.toggle_counts()[zero.value()], 0);
+    EXPECT_EQ(sim.toggle_counts()[dangling.value()], 0);
+    EXPECT_TRUE(sim.net_value(one));
+    EXPECT_FALSE(sim.net_value(zero));
+    // Real activity is still counted: counter bit 0 toggles every cycle.
+    EXPECT_EQ(sim.toggle_counts()[q[0].value()], 32);
+}
+
+TEST(ToggleSpec, ConstantsNeverToggleCycleEngine) {
+    check_constants_and_undriven_never_toggle<Simulator>();
+}
+
+TEST(ToggleSpec, ConstantsNeverToggleEventEngine) {
+    check_constants_and_undriven_never_toggle<EventSimulator>();
+}
+
+// ------------------------------------------------- VCD vector round trip
+
+/// Property: writing a dump with a multi-bit `$var` and parsing it back
+/// reproduces the engine's per-net toggle counts exactly, bit for bit,
+/// including across idle stretches where no value changes (the writer emits
+/// no timestamp at all) and uneven sample spacing.
+template <typename Engine>
+void check_vector_round_trip() {
+    Design d = make_design();
+    Builder b(d.nl, d.clk);
+    const Bus ce = d.nl.add_input_port("ce", 1);
+    const Bus q = b.counter(5, ce[0], "q");
+    d.nl.add_output_port("q", q);
+    Engine sim(d.nl);
+
+    std::ostringstream os;
+    // Mixed declaration: bit 0 as a scalar AND the whole bus as one vector.
+    VcdWriter writer(os, sim, {q[0]}, {{"qv", q}});
+    writer.sample(0);
+    Rng rng(99);
+    std::int64_t t = 0;
+    for (int step = 1; step <= 60; ++step) {
+        sim.set_input("ce", step % 9 < 3 ? 0 : 1);  // idle gaps while CE low
+        sim.tick();
+        t += 500 + static_cast<std::int64_t>(rng.next_below(1500));
+        writer.sample(t);
+    }
+
+    std::istringstream is(os.str());
+    const VcdActivity activity = parse_vcd(is);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(activity.toggles.at("qv[" + std::to_string(i) + "]"),
+                  sim.toggle_counts()[q[i].value()])
+            << "bit " << i;
+    // The scalar alias of bit 0 agrees with the vector's LSB.
+    EXPECT_EQ(activity.toggles.at(d.nl.net(q[0]).name),
+              activity.toggles.at("qv[0]"));
+}
+
+TEST(Vcd, VectorRoundTripMatchesCycleEngine) { check_vector_round_trip<Simulator>(); }
+
+TEST(Vcd, VectorRoundTripMatchesEventEngine) {
+    check_vector_round_trip<EventSimulator>();
+}
+
+// ------------------------------------------------- wide-vector parsing
+
+namespace {
+
+constexpr const char* kVecHeader =
+    "$timescale 1ps $end\n"
+    "$var wire 4 # v $end\n"
+    "$enddefinitions $end\n";
+
+}  // namespace
+
+TEST(VcdRobustness, WideVectorAccumulatesPerBitToggles) {
+    // b101 left-extends to 0101 (IEEE 1364). Transitions: 0000 -> 0101 flips
+    // bits 0 and 2; 0101 -> 1111 flips bits 1 and 3.
+    const VcdActivity a = parse_string(std::string(kVecHeader) +
+                                       "#0\nb0000 #\n#5\nb101 #\n#10\nb1111 #\n");
+    EXPECT_EQ(a.toggles.at("v[0]"), 1);
+    EXPECT_EQ(a.toggles.at("v[1]"), 1);
+    EXPECT_EQ(a.toggles.at("v[2]"), 1);
+    EXPECT_EQ(a.toggles.at("v[3]"), 1);
+}
+
+TEST(VcdRobustness, VectorUnknownBitsResetPerBitTracking) {
+    // bx1 extends with x: bit 0 stays known, bits 1..3 go unknown and their
+    // next value re-seeds tracking (matching scalar x semantics).
+    const VcdActivity a = parse_string(std::string(kVecHeader) +
+                                       "#0\nb1111 #\n#5\nbx1 #\n#10\nb0000 #\n");
+    EXPECT_EQ(a.toggles.at("v[0]"), 1);  // 1 -> 1 -> 0
+    EXPECT_EQ(a.toggles.at("v[1]"), 0);  // 1 -> x -> 0
+    EXPECT_EQ(a.toggles.at("v[3]"), 0);
+}
+
+TEST(VcdRobustness, VectorWiderThanDeclarationThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVecHeader) + "#0\nb10101 #\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, VectorBadDigitThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVecHeader) + "#0\nb12 #\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, VectorChangeBeforeFirstTimestampThrows) {
+    EXPECT_THROW((void)parse_string(std::string(kVecHeader) + "b0101 #\n#0\n"),
+                 VcdParseError);
+}
+
+TEST(VcdRobustness, RealValueChangesAreSkipped) {
+    const VcdActivity a = parse_string(std::string(kVecHeader) +
+                                       "#0\nr1.5 #\nb0011 #\n#5\nb0000 #\n");
+    EXPECT_EQ(a.toggles.at("v[0]"), 1);
+    EXPECT_EQ(a.toggles.at("v[1]"), 1);
 }
 
 }  // namespace
